@@ -1,0 +1,1 @@
+bench/ablation.ml: Arch Cogent Float List Precision Printf Report Tc_expr Tc_gpu Tc_sim Tc_tccg Tc_ttgt

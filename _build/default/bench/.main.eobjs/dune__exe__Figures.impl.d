@@ -1,0 +1,1 @@
+bench/figures.ml: Arch Cogent Float List Option Precision Printf Report Tc_autotune Tc_gpu Tc_nwchem Tc_sim Tc_tccg Tc_ttgt

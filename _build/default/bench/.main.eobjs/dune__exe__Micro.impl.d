@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Cogent Hashtbl Instance List Measure Option Printf Report Staged Tc_gpu Tc_sim Tc_tccg Test Time Toolkit

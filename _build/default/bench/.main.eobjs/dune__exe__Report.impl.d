@@ -1,0 +1,1 @@
+bench/report.ml: Array Float List Printf String

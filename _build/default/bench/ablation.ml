@@ -1,0 +1,198 @@
+(* Ablation studies for the design choices DESIGN.md calls out:
+
+   1. selection quality: pure model ranking vs measured refinement of the
+      top 8 vs the simulator-oracle over every surviving configuration;
+   2. cost-model fidelity: Spearman rank correlation between Algorithm 3's
+      ranking and the simulator's, per suite entry;
+   3. performance-constraint value (§IV-A2): best configuration with
+      hardware-only pruning and model-only selection, vs the full rules;
+   4. the TTGT planner extension: TAL_SH-faithful permutes vs the
+      cheapest-permutation search. *)
+
+open Tc_gpu
+
+let arch = Arch.v100
+let prec = Precision.FP64
+
+let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
+
+let plan_of problem mapping =
+  Cogent.Plan.make ~problem ~mapping ~arch ~precision:prec
+
+let spearman xs ys =
+  (* rank correlation without tie correction (ties are rare here) *)
+  let rank v =
+    let sorted = List.sort Float.compare v in
+    List.map
+      (fun x ->
+        let rec idx k = function
+          | [] -> k
+          | y :: rest -> if y >= x then k else idx (k + 1) rest
+        in
+        float_of_int (idx 0 sorted))
+      v
+  in
+  let rx = rank xs and ry = rank ys in
+  let n = float_of_int (List.length xs) in
+  if n < 2.0 then nan
+  else
+    let d2 =
+      List.fold_left2 (fun acc a b -> acc +. ((a -. b) ** 2.0)) 0.0 rx ry
+    in
+    1.0 -. (6.0 *. d2 /. (n *. ((n *. n) -. 1.0)))
+
+let selection () =
+  Report.section
+    "Ablation 1 — configuration selection (V100, FP64): model-only vs \
+     top-8 refinement vs simulator oracle";
+  Printf.printf "%-8s %10s %10s %10s %12s\n" "name" "model" "refined"
+    "oracle" "model/oracle";
+  Report.hrule 56;
+  let ratios_model = ref [] and ratios_refined = ref [] in
+  List.iter
+    (fun e ->
+      let problem = Tc_tccg.Suite.problem e in
+      let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
+      let model = simulate r.Cogent.Driver.plan in
+      let refined =
+        simulate
+          (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
+             problem)
+      in
+      let oracle =
+        List.fold_left
+          (fun acc (m, _) -> Float.max acc (simulate (plan_of problem m)))
+          0.0 r.Cogent.Driver.ranked
+      in
+      ratios_model := (model, oracle) :: !ratios_model;
+      ratios_refined := (refined, oracle) :: !ratios_refined;
+      Printf.printf "%-8s %10.0f %10.0f %10.0f %11.0f%%\n" e.Tc_tccg.Suite.name
+        model refined oracle
+        (100.0 *. model /. oracle))
+    Tc_tccg.Suite.all;
+  print_newline ();
+  Report.speedup_summary ~name:"model-only" ~base:"oracle" !ratios_model;
+  Report.speedup_summary ~name:"top-8 refined" ~base:"oracle" !ratios_refined
+
+let correlation () =
+  Report.section
+    "Ablation 2 — Algorithm 3 fidelity: Spearman correlation of model cost \
+     vs simulated time over surviving configurations";
+  Printf.printf "%-8s %8s %8s\n" "name" "configs" "rho";
+  Report.hrule 30;
+  let rhos =
+    List.map
+      (fun e ->
+        let problem = Tc_tccg.Suite.problem e in
+        let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
+        let costs = List.map snd r.Cogent.Driver.ranked in
+        let times =
+          List.map
+            (fun (m, _) ->
+              (Tc_sim.Simkernel.run (plan_of problem m)).Tc_sim.Simkernel.time_s)
+            r.Cogent.Driver.ranked
+        in
+        let rho = spearman costs times in
+        Printf.printf "%-8s %8d %8.2f\n" e.Tc_tccg.Suite.name
+          (List.length costs) rho;
+        rho)
+      Tc_tccg.Suite.all
+  in
+  Printf.printf "\nmean rho: %.2f (1.0 = the model orders configurations exactly as the simulator does)\n"
+    (List.fold_left ( +. ) 0.0 rhos /. float_of_int (List.length rhos))
+
+let constraints () =
+  Report.section
+    "Ablation 3 — value of the §IV-A2 performance constraints (model-only \
+     selection)";
+  Printf.printf "%-8s %12s %12s %9s\n" "name" "full rules" "hw-only" "gain";
+  Report.hrule 46;
+  let gains =
+    List.filter_map
+      (fun e ->
+        let problem = Tc_tccg.Suite.problem e in
+        let configs = Cogent.Enumerate.enumerate problem in
+        let pick performance =
+          let kept, _ =
+            Cogent.Prune.filter ~performance arch prec problem configs
+          in
+          match Cogent.Cost.best prec problem kept with
+          | Some (m, _) -> Some (simulate (plan_of problem m))
+          | None -> None
+        in
+        match (pick true, pick false) with
+        | Some full, Some hw ->
+            Printf.printf "%-8s %12.0f %12.0f %8.2fx\n" e.Tc_tccg.Suite.name
+              full hw (full /. hw);
+            Some (full, hw)
+        | _ -> None)
+      Tc_tccg.Suite.all
+  in
+  print_newline ();
+  Report.speedup_summary ~name:"full rules" ~base:"hardware-only" gains
+
+let ttgt_planner () =
+  Report.section
+    "Ablation 4 — TTGT planner: TAL_SH-faithful permutes vs \
+     cheapest-permutation search (extension)";
+  Printf.printf "%-8s %10s %10s %9s\n" "name" "faithful" "optimized" "gain";
+  Report.hrule 42;
+  let gains =
+    List.map
+      (fun e ->
+        let problem = Tc_tccg.Suite.problem e in
+        let f = (Tc_ttgt.Ttgt.run arch prec problem).Tc_ttgt.Ttgt.gflops in
+        let o =
+          (Tc_ttgt.Ttgt.run ~optimize:true arch prec problem).Tc_ttgt.Ttgt.gflops
+        in
+        Printf.printf "%-8s %10.0f %10.0f %8.2fx\n" e.Tc_tccg.Suite.name f o
+          (o /. f);
+        (o, f))
+      Tc_tccg.Suite.all
+  in
+  print_newline ();
+  Report.speedup_summary ~name:"optimized TTGT" ~base:"faithful TTGT" gains
+
+let splitting () =
+  Report.section
+    "Ablation 5 — dimension splitting (extension) on register-starved      contractions";
+  Printf.printf "%-8s %-18s %10s %10s %9s
+" "name" "contraction" "base"
+    "auto-split" "gain";
+  Report.hrule 60;
+  let gains =
+    List.filter_map
+      (fun e ->
+        let problem = Tc_tccg.Suite.problem e in
+        let _, applied = Tc_expr.Split.auto problem in
+        if applied = [] then None
+        else begin
+          let base =
+            simulate
+              (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
+                 problem)
+          in
+          let split =
+            simulate
+              (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
+                 ~auto_split:true problem)
+          in
+          Printf.printf "%-8s %-18s %10.0f %10.0f %8.2fx
+"
+            e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr base split
+            (split /. base);
+          Some (split, base)
+        end)
+      Tc_tccg.Suite.all
+  in
+  print_newline ();
+  if gains = [] then print_endline "no register-starved entries in the suite"
+  else
+    Report.speedup_summary ~name:"with auto-split" ~base:"without" gains
+
+let run () =
+  selection ();
+  correlation ();
+  constraints ();
+  ttgt_planner ();
+  splitting ()

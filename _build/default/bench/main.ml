@@ -1,0 +1,33 @@
+(* Benchmark harness entry point.
+
+   With no argument, regenerates every figure of the paper plus the pruning
+   statistics and the code-generation micro-benchmarks.  Individual targets:
+
+     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|micro *)
+
+let targets =
+  [
+    ("fig4", Figures.fig4);
+    ("fig5", Figures.fig5);
+    ("fig6", Figures.fig6);
+    ("fig7", Figures.fig7);
+    ("fig8", Figures.fig8);
+    ("prunestats", Figures.prunestats);
+    ("ablation", Ablation.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [] -> List.iter (fun (_, f) -> f ()) targets
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name targets with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown target %S; available: %s\n" name
+                (String.concat ", " (List.map fst targets));
+              exit 1)
+        names

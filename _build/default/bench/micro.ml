@@ -1,0 +1,77 @@
+(* Bechamel micro-benchmarks of the code generator itself: the paper's
+   headline operational claim is "significantly reduced code generation
+   time" versus hours of auto-tuning, so we measure the cost of every stage
+   of COGENT's pipeline on real suite entries. *)
+
+open Bechamel
+open Toolkit
+
+let problem_eq1 = Tc_tccg.Suite.problem (Option.get (Tc_tccg.Suite.find "ccsd_1"))
+let problem_sd2 = Tc_tccg.Suite.problem Tc_tccg.Suite.sd2_1
+
+let staged_tests =
+  let enumerate problem () = ignore (Cogent.Enumerate.enumerate problem) in
+  let full problem () = ignore (Cogent.Driver.generate_exn problem) in
+  let prune problem =
+    let configs = Cogent.Enumerate.enumerate problem in
+    fun () ->
+      ignore
+        (Cogent.Prune.filter Tc_gpu.Arch.v100 Tc_gpu.Precision.FP64 problem
+           configs)
+  in
+  let cost problem =
+    let configs = Cogent.Enumerate.enumerate problem in
+    fun () ->
+      ignore (Cogent.Cost.rank Tc_gpu.Precision.FP64 problem configs)
+  in
+  let codegen problem =
+    let plan = Cogent.Driver.best_plan problem in
+    fun () -> ignore (Cogent.Codegen.emit plan)
+  in
+  let simulate problem =
+    let plan = Cogent.Driver.best_plan problem in
+    fun () -> ignore (Tc_sim.Simkernel.run plan)
+  in
+  [
+    Test.make ~name:"enumerate/eq1" (Staged.stage (enumerate problem_eq1));
+    Test.make ~name:"enumerate/sd2_1" (Staged.stage (enumerate problem_sd2));
+    Test.make ~name:"prune/eq1" (Staged.stage (prune problem_eq1));
+    Test.make ~name:"cost-rank/eq1" (Staged.stage (cost problem_eq1));
+    Test.make ~name:"codegen-emit/eq1" (Staged.stage (codegen problem_eq1));
+    Test.make ~name:"codegen-emit/sd2_1" (Staged.stage (codegen problem_sd2));
+    Test.make ~name:"simulate/sd2_1" (Staged.stage (simulate problem_sd2));
+    Test.make ~name:"generate-end-to-end/eq1" (Staged.stage (full problem_eq1));
+    Test.make ~name:"generate-end-to-end/sd2_1" (Staged.stage (full problem_sd2));
+  ]
+
+let run () =
+  Report.section
+    "Code-generation time (Bechamel; model-driven COGENT vs hours of \
+     autotuning)";
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf "%-28s %15s\n" "stage" "time per call";
+  Report.hrule 46;
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name raw ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ t ] ->
+              let pretty =
+                if t > 1e9 then Printf.sprintf "%8.2f s " (t /. 1e9)
+                else if t > 1e6 then Printf.sprintf "%8.2f ms" (t /. 1e6)
+                else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
+                else Printf.sprintf "%8.0f ns" t
+              in
+              Printf.printf "%-28s %15s\n" name pretty
+          | _ -> Printf.printf "%-28s %15s\n" name "n/a")
+        results)
+    staged_tests

@@ -1,0 +1,53 @@
+(* Shared reporting helpers for the benchmark harness. *)
+
+let geomean = function
+  | [] -> nan
+  | l ->
+      exp
+        (List.fold_left (fun acc x -> acc +. log x) 0.0 l
+        /. float_of_int (List.length l))
+
+let maximum l = List.fold_left Float.max neg_infinity l
+
+let hrule width = print_endline (String.make width '-')
+
+let section title =
+  print_newline ();
+  hrule 78;
+  Printf.printf "%s\n" title;
+  hrule 78
+
+(* Summarize speedups of one series over another. *)
+let speedup_summary ~name ~base rows =
+  let ratios = List.map (fun (a, b) -> a /. b) rows in
+  Printf.printf "%s vs %s: geomean %.2fx, max %.2fx\n" name base
+    (geomean ratios) (maximum ratios)
+
+(* Horizontal ASCII bars, one row per (label, series values), normalized to
+   the global maximum — a terminal rendering of the paper's bar charts. *)
+let bar_chart ~series_names rows =
+  let width = 40 in
+  let maximum_value =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left Float.max acc vs)
+      1e-9 rows
+  in
+  let glyphs = [| '#'; '='; '.' |] in
+  List.iteri
+    (fun k name -> Printf.printf "  %c %s\n" glyphs.(k mod 3) name)
+    series_names;
+  List.iter
+    (fun (label, values) ->
+      List.iteri
+        (fun k v ->
+          let n =
+            int_of_float
+              (Float.round (float_of_int width *. v /. maximum_value))
+          in
+          Printf.printf "%-8s %c %-*s %7.0f\n"
+            (if k = 0 then label else "")
+            glyphs.(k mod 3) width
+            (String.make (max 0 n) glyphs.(k mod 3))
+            v)
+        values)
+    rows

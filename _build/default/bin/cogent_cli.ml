@@ -1,0 +1,234 @@
+(* cogent — command-line front end of the code generator.
+
+   Subcommands:
+     gen    emit CUDA for a contraction at a representative size
+     plan   show the top-ranked configurations with model cost and
+            simulated performance
+     bench  compare COGENT / NWChem-style / TAL_SH-style strategies on one
+            contraction or a TCCG suite entry
+     suite  list the TCCG benchmark entries
+
+   Examples:
+     cogent gen  -e abcd-aebf-dfce -s a=48,b=48,c=48,d=48,e=32,f=32
+     cogent plan -e "C[a,b] = A[a,k] * B[k,b]" -s a=1024,b=1024,k=512 -n 10
+     cogent bench --entry sd2_1 --arch p100 *)
+
+open Cmdliner
+open Tc_gpu
+open Tc_expr
+
+let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
+
+(* ---- shared arguments ---- *)
+
+let expr_arg =
+  let doc =
+    "The contraction, in TCCG form (abcd-aebf-dfce) or Einstein form \
+     (C[a,b]=A[a,k]*B[k,b])."
+  in
+  Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"EXPR" ~doc)
+
+let sizes_arg =
+  let doc = "Representative extents, e.g. a=48,b=48,e=32." in
+  Arg.(value & opt (some string) None & info [ "s"; "sizes" ] ~docv:"SIZES" ~doc)
+
+let entry_arg =
+  let doc = "A TCCG suite entry name (see the suite subcommand), e.g. sd2_1." in
+  Arg.(value & opt (some string) None & info [ "entry" ] ~docv:"NAME" ~doc)
+
+let arch_arg =
+  let parse s =
+    match Arch.by_name s with
+    | Some a -> Ok a
+    | None -> Error (`Msg (Printf.sprintf "unknown device %S (p100|v100|a100)" s))
+  in
+  let print fmt (a : Arch.t) = Format.pp_print_string fmt a.Arch.name in
+  let arch_conv = Arg.conv (parse, print) in
+  Arg.(value & opt arch_conv Arch.v100 & info [ "arch" ] ~docv:"DEVICE"
+         ~doc:"Target device: p100, v100 or a100.")
+
+let precision_arg =
+  let parse = function
+    | "fp64" | "double" -> Ok Precision.FP64
+    | "fp32" | "float" | "single" -> Ok Precision.FP32
+    | s -> Error (`Msg (Printf.sprintf "unknown precision %S (fp32|fp64)" s))
+  in
+  let prec_conv = Arg.conv (parse, fun fmt p -> Precision.pp fmt p) in
+  Arg.(value & opt prec_conv Precision.FP64 & info [ "precision" ] ~docv:"PREC"
+         ~doc:"Floating-point precision: fp32 or fp64.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write the generated CUDA to $(docv) instead of stdout.")
+
+let resolve_problem expr sizes entry =
+  match (entry, expr, sizes) with
+  | Some name, None, None -> (
+      match Tc_tccg.Suite.find name with
+      | Some e -> Ok (Tc_tccg.Suite.problem e)
+      | None -> Error (Printf.sprintf "no TCCG entry named %S" name))
+  | None, Some e, Some s -> (
+      match Sizes.parse s with
+      | Error m -> Error m
+      | Ok sizes -> (
+          match Parser.parse e with
+          | Error pe -> Error (Format.asprintf "%a" Parser.pp_error pe)
+          | Ok ast -> Problem.make ast sizes))
+  | None, Some _, None -> Error "missing --sizes"
+  | _ -> Error "give either --entry NAME, or --expr with --sizes"
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+      prerr_endline ("cogent: " ^ m);
+      exit 2
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let run expr sizes entry arch precision output standalone opencl =
+    let problem = or_die (resolve_problem expr sizes entry) in
+    let r =
+      or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
+    in
+    let src =
+      if opencl then Cogent.Codegen.emit_opencl r.Cogent.Driver.plan
+      else if standalone then Cogent.Codegen.emit_standalone r.Cogent.Driver.plan
+      else Cogent.Driver.cuda_source r
+    in
+    match output with
+    | None -> print_string src
+    | Some file ->
+        let oc = open_out file in
+        output_string oc src;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" file (String.length src)
+  in
+  let standalone =
+    Arg.(value & flag & info [ "standalone" ]
+           ~doc:"Emit a self-contained .cu with a benchmarking main().")
+  in
+  let opencl =
+    Arg.(value & flag & info [ "opencl" ]
+           ~doc:"Emit an OpenCL kernel (.cl) instead of CUDA.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate CUDA (or OpenCL) for a tensor contraction")
+    Term.(const run $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+          $ precision_arg $ output_arg $ standalone $ opencl)
+
+(* ---- plan ---- *)
+
+let plan_cmd =
+  let run expr sizes entry arch precision top =
+    let problem = or_die (resolve_problem expr sizes entry) in
+    let r =
+      or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
+    in
+    let s = r.Cogent.Driver.prune_stats in
+    Format.printf "problem:     %a@." Problem.pp problem;
+    Format.printf "search:      naive space %.3e, enumerated %d, kept %d@."
+      r.Cogent.Driver.naive_space s.Cogent.Prune.enumerated s.Cogent.Prune.kept;
+    Format.printf "selected:    %a@.@." Cogent.Plan.pp r.Cogent.Driver.plan;
+    Format.printf "top %d configurations by model cost:@." top;
+    List.iteri
+      (fun k (m, cost) ->
+        if k < top then
+          let plan =
+            Cogent.Plan.make ~problem ~mapping:m ~arch ~precision
+          in
+          Format.printf "  #%-2d cost %.3e  sim %7.0f GFLOPS  %a@." (k + 1)
+            cost (simulate plan) Cogent.Mapping.pp m)
+      r.Cogent.Driver.ranked
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "n"; "top" ] ~docv:"N"
+           ~doc:"How many configurations to display.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Inspect the configuration search for a contraction")
+    Term.(const run $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+          $ precision_arg $ top)
+
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let run expr sizes entry arch precision =
+    let problem = or_die (resolve_problem expr sizes entry) in
+    let cg =
+      simulate (Cogent.Driver.best_plan ~arch ~precision ~measure:simulate problem)
+    in
+    let nw = simulate (Tc_nwchem.Nwgen.plan ~arch ~precision problem) in
+    let ts = (Tc_ttgt.Ttgt.run arch precision problem).Tc_ttgt.Ttgt.gflops in
+    Format.printf "%a on %s (%a)@." Problem.pp problem arch.Arch.name
+      Precision.pp precision;
+    Format.printf "  COGENT        %8.0f GFLOPS@." cg;
+    Format.printf "  NWChem-style  %8.0f GFLOPS  (%.2fx)@." nw (cg /. nw);
+    Format.printf "  TAL_SH-style  %8.0f GFLOPS  (%.2fx)@." ts (cg /. ts)
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Compare execution strategies on one contraction")
+    Term.(const run $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+          $ precision_arg)
+
+(* ---- triples ---- *)
+
+let triples_cmd =
+  let run arch nh np =
+    Format.printf
+      "CCSD(T) triples sweep estimate at nh=%d, np=%d on %s (FP64):@." nh np
+      arch.Arch.name;
+    List.iter
+      (fun sw ->
+        Format.printf "  %-14s %10.1f ms  (%.0f GFLOPS)@."
+          sw.Tc_ccsdt.Triples.strategy
+          (sw.Tc_ccsdt.Triples.time_s *. 1e3)
+          sw.Tc_ccsdt.Triples.gflops)
+      (Tc_ccsdt.Triples.sweep_estimate arch Precision.FP64 ~nh ~np);
+    if nh <= 4 && np <= 6 then begin
+      let sys = Tc_ccsdt.Triples.make ~nh ~np () in
+      Format.printf "@.E(T) at this (toy) size: %.10f@."
+        (Tc_ccsdt.Triples.correction
+           ~method_:Tc_ccsdt.Triples.Cogent_plans sys)
+    end
+  in
+  let nh =
+    Arg.(value & opt int 16 & info [ "nh" ] ~docv:"N"
+           ~doc:"Occupied orbitals (a,b,c extents).")
+  in
+  let np =
+    Arg.(value & opt int 48 & info [ "np" ] ~docv:"N"
+           ~doc:"Virtual orbitals (d,e,f extents).")
+  in
+  Cmd.v
+    (Cmd.info "triples"
+       ~doc:"Estimate a CCSD(T) triples sweep; compute E(T) at toy sizes")
+    Term.(const run $ arch_arg $ nh $ np)
+
+(* ---- suite ---- *)
+
+let suite_cmd =
+  let run () =
+    Format.printf "%-3s %-8s %-12s %-18s %s@." "#" "name" "group" "contraction"
+      "sizes";
+    List.iter
+      (fun e ->
+        Format.printf "%-3d %-8s %-12s %-18s %s@." e.Tc_tccg.Suite.id
+          e.Tc_tccg.Suite.name
+          (Tc_tccg.Suite.group_to_string e.Tc_tccg.Suite.group)
+          e.Tc_tccg.Suite.expr
+          (String.concat ","
+             (List.map
+                (fun (i, n) -> Printf.sprintf "%c=%d" i n)
+                e.Tc_tccg.Suite.sizes)))
+      Tc_tccg.Suite.all
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"List the TCCG benchmark entries")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "COGENT: a code generator for high-performance tensor contractions on GPUs" in
+  Cmd.group (Cmd.info "cogent" ~version:"1.0.0" ~doc)
+    [ gen_cmd; plan_cmd; bench_cmd; triples_cmd; suite_cmd ]
+
+let () = exit (Cmd.eval main)

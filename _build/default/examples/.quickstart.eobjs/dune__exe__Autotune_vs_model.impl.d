@@ -1,0 +1,1 @@
+examples/autotune_vs_model.ml: Arch Cogent Format List Precision Sys Tc_autotune Tc_gpu Tc_sim Tc_tccg

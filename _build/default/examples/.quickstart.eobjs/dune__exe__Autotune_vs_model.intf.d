@@ -1,0 +1,1 @@
+examples/autotune_vs_model.mli:

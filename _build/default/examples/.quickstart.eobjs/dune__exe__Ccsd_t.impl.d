@@ -1,0 +1,1 @@
+examples/ccsd_t.ml: Arch Cogent Format List Precision Tc_gpu Tc_nwchem Tc_sim Tc_tccg Tc_ttgt

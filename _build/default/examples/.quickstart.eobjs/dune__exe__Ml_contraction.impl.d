@@ -1,0 +1,1 @@
+examples/ml_contraction.ml: Arch Cogent Contract_ref Dense Format List Option Precision Problem Tc_expr Tc_gpu Tc_sim Tc_tccg Tc_tensor Tc_ttgt

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Arch Ast Classify Cogent Contract_ref Dense Format Index List Precision Problem String Tc_expr Tc_gpu Tc_sim Tc_tensor

@@ -1,0 +1,1 @@
+examples/triples_energy.ml: Format List Tc_ccsdt Tc_gpu

@@ -1,0 +1,1 @@
+examples/triples_energy.mli:

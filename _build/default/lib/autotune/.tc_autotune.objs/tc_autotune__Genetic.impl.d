@@ -1,0 +1,1 @@
+lib/autotune/genetic.ml: Array Cogent Float List Random Space Tc_sim

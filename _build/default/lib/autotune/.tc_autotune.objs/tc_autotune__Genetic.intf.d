@@ -1,0 +1,1 @@
+lib/autotune/genetic.mli: Arch Cogent Precision Problem Tc_expr Tc_gpu

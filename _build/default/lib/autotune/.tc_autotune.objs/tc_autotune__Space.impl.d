@@ -1,0 +1,1 @@
+lib/autotune/space.ml: Classify Cogent Float Index List Problem Random Tc_expr Tc_tensor

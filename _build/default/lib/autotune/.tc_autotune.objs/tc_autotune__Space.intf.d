@@ -1,0 +1,1 @@
+lib/autotune/space.mli: Cogent Index Problem Random Tc_expr Tc_tensor

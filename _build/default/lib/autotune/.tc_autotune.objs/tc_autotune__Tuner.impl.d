@@ -1,0 +1,1 @@
+lib/autotune/tuner.ml: Cogent Genetic List Problem Tc_expr

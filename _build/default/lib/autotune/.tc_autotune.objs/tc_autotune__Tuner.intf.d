@@ -1,0 +1,1 @@
+lib/autotune/tuner.mli: Arch Cogent Genetic Precision Problem Tc_expr Tc_gpu

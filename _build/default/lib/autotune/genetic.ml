@@ -1,0 +1,133 @@
+
+type params = {
+  population : int;
+  generations : int;
+  tournament : int;
+  mutation_rate : float;
+  elite : int;
+  seed : int;
+}
+
+let default_params =
+  {
+    population = 100;
+    generations = 20;
+    tournament = 3;
+    mutation_rate = 0.2;
+    elite = 2;
+    seed = 42;
+  }
+
+type trace_point = {
+  evaluations : int;
+  best_gflops : float;
+  current_gflops : float;
+}
+
+type result = {
+  best : Cogent.Mapping.t;
+  best_gflops : float;
+  trace : trace_point list;
+  evaluations : int;
+  tuning_time_s : float;
+}
+
+let tc_quality_factor = 0.9
+
+(* Each candidate is compiled (nvcc) and benchmarked with 3 repetitions;
+   this drives the simulated total tuning time.  Pathological candidates
+   are cut off by the harness's per-run timeout. *)
+let compile_time_s = 4.0
+let bench_repetitions = 3.0
+let run_timeout_s = 1.0
+
+let fitness ?(quality = tc_quality_factor) arch prec problem mapping =
+  match Cogent.Mapping.validate problem mapping with
+  | Error _ -> 0.0
+  | Ok () ->
+      let plan =
+        Cogent.Plan.make ~problem ~mapping ~arch ~precision:prec
+      in
+      let r = Tc_sim.Simkernel.run plan in
+      if Float.is_finite r.Tc_sim.Simkernel.gflops then
+        quality *. r.Tc_sim.Simkernel.gflops
+      else 0.0
+
+let runtime_s arch prec problem mapping =
+  match Cogent.Mapping.validate problem mapping with
+  | Error _ -> 0.0
+  | Ok () ->
+      let plan = Cogent.Plan.make ~problem ~mapping ~arch ~precision:prec in
+      let t = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.time_s in
+      if Float.is_finite t then t else 0.0
+
+let tune ?(params = default_params) ?quality arch prec problem =
+  let st = Random.State.make [| params.seed |] in
+  let evaluations = ref 0 in
+  let tuning_time = ref 0.0 in
+  let best = ref None in
+  let trace = ref [] in
+  let evaluate genome =
+    let g =
+      match Space.decode problem genome with
+      | None -> 0.0
+      | Some mapping ->
+          let f = fitness ?quality arch prec problem mapping in
+          incr evaluations;
+          tuning_time :=
+            !tuning_time +. compile_time_s
+            +. bench_repetitions
+               *. Float.min run_timeout_s (runtime_s arch prec problem mapping);
+          (match !best with
+          | Some (_, bg) when bg >= f -> ()
+          | _ -> best := Some (mapping, f));
+          f
+    in
+    let best_gflops = match !best with Some (_, g) -> g | None -> 0.0 in
+    trace :=
+      { evaluations = !evaluations; best_gflops; current_gflops = g } :: !trace;
+    g
+  in
+  let population =
+    Array.init params.population (fun _ ->
+        let genome = Space.random st problem in
+        (genome, evaluate genome))
+  in
+  let by_fitness (_, a) (_, b) = Float.compare b a in
+  let tournament_pick pop =
+    let best = ref pop.(Random.State.int st (Array.length pop)) in
+    for _ = 2 to params.tournament do
+      let c = pop.(Random.State.int st (Array.length pop)) in
+      if snd c > snd !best then best := c
+    done;
+    fst !best
+  in
+  let current = ref population in
+  for _gen = 2 to params.generations do
+    let pop = !current in
+    Array.sort by_fitness pop;
+    let next =
+      Array.init params.population (fun k ->
+          if k < params.elite then pop.(k)
+          else
+            let a = tournament_pick pop and b = tournament_pick pop in
+            let child = Space.crossover st a b in
+            let child =
+              if Random.State.float st 1.0 < params.mutation_rate then
+                Space.mutate st problem child
+              else child
+            in
+            (child, evaluate child))
+    in
+    current := next
+  done;
+  match !best with
+  | None -> invalid_arg "Genetic.tune: no feasible configuration evaluated"
+  | Some (mapping, gflops) ->
+      {
+        best = mapping;
+        best_gflops = gflops;
+        trace = List.rev !trace;
+        evaluations = !evaluations;
+        tuning_time_s = !tuning_time;
+      }

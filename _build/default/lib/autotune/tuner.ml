@@ -1,0 +1,23 @@
+open Tc_expr
+
+(* One single-thread block per output element, serial contraction loop with
+   unit tiles: the shape of the naive schedule TC compiles when no tuning
+   information is available. *)
+let untuned_mapping problem =
+  let info = Problem.info problem in
+  {
+    Cogent.Mapping.tbx = [];
+    regx = [];
+    tby = [];
+    regy = [];
+    tbk =
+      List.map
+        (fun index -> { Cogent.Mapping.index; tile = 1 })
+        info.Tc_expr.Classify.internals;
+    grid = info.Tc_expr.Classify.externals;
+  }
+
+let untuned_gflops arch prec problem =
+  Genetic.fitness arch prec problem (untuned_mapping problem)
+
+let tuned ?params arch prec problem = Genetic.tune ?params arch prec problem

@@ -1,0 +1,19 @@
+(** Tensor-Comprehensions-like facade: the two operating points the paper
+    compares against (Figs. 6–8) — the compiler's default schedule without
+    tuning, and the genetic autotuner's best after population x generations
+    code versions. *)
+
+open Tc_gpu
+open Tc_expr
+
+val untuned_gflops : Arch.t -> Precision.t -> Problem.t -> float
+(** TC's default (untuned) schedule: an essentially unparallelized mapping
+    — every output element computed by its own single-thread block, no
+    tiling, no staging.  Lands below 1 GFLOPS, as the paper observes. *)
+
+val untuned_mapping : Problem.t -> Cogent.Mapping.t
+
+val tuned : ?params:Genetic.params -> Arch.t -> Precision.t -> Problem.t
+  -> Genetic.result
+(** Run the genetic autotuner (defaults: population 100, 20 generations —
+    the paper's setting). *)

@@ -1,0 +1,1 @@
+lib/ccsdt/triples.ml: Array Ast Classify Cogent Contract_ref Dense Float Index List Problem Random Shape Sizes Tc_expr Tc_nwchem Tc_sim Tc_tccg Tc_tensor Tc_ttgt

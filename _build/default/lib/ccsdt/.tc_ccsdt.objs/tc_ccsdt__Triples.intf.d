@@ -1,0 +1,1 @@
+lib/ccsdt/triples.mli: Arch Dense Precision Tc_gpu Tc_tensor

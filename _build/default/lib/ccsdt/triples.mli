@@ -1,0 +1,62 @@
+(** The perturbative-triples (T) correction of coupled-cluster theory —
+    the application that motivates the paper (§I, §V): in NWChem's CCSD(T)
+    the dominant cost is forming the 6-D triples amplitude
+
+      t3[h3,h2,h1,p6,p5,p4]
+        +=  sum over h7 of t2[h7,pX,pY,hZ] * v2[h.,h.,p.,h7]   (9 SD1 terms)
+        -   sum over p7 of t2[p7,pX,hY,hZ] * v2[p.,p.,p7,h.]   (9 SD2 terms)
+
+    followed by the energy reduction E += t3^2 / D with the usual orbital-
+    energy denominator.  The 18 contraction kernels are exactly entries
+    31–48 of the TCCG suite; all nine variants of each family read the
+    {e same} t2/v2 data under permuted index labels, so this module
+    materializes one base tensor per operand family and reinterprets it
+    per variant (a zero-copy view in spirit; a blit here).
+
+    This is a complete, numerically validated mini-application driving the
+    public API end to end, plus a planner for estimating a full triples
+    sweep on the modeled devices. *)
+
+open Tc_tensor
+open Tc_gpu
+
+type system
+(** A closed-shell toy system: [nh] occupied and [np] virtual orbitals,
+    orbital energies, and randomized t2/v2 amplitude tensors. *)
+
+val make : ?seed:int -> nh:int -> np:int -> unit -> system
+(** @raise Invalid_argument unless [nh >= 2] and [np >= 2]. *)
+
+val nh : system -> int
+val np : system -> int
+
+type method_ =
+  | Reference  (** nested-loop einsum oracle *)
+  | Cogent_plans  (** each kernel planned by COGENT and run by the plan interpreter *)
+  | Ttgt_pipeline  (** each kernel through the TTGT (TAL_SH-style) lowering *)
+
+val method_name : method_ -> string
+
+val t3 : system -> method_:method_ -> Dense.t
+(** The accumulated triples amplitude [t3\[a,b,c,d,e,f\]] (a,b,c occupied;
+    d,e,f virtual), summing all 9 SD1 contributions and subtracting all 9
+    SD2 contributions. *)
+
+val energy : system -> Dense.t -> float
+(** [sum over blocks of t3^2 / (eps_a + eps_b + eps_c - eps_d - eps_e -
+    eps_f)] — negative for a physical spectrum. *)
+
+val correction : ?method_:method_ -> system -> float
+(** [energy sys (t3 sys ~method_)]; default {!Reference}. *)
+
+type sweep = {
+  strategy : string;
+  time_s : float;  (** simulated time of all 18 kernels at this size *)
+  gflops : float;
+}
+
+val sweep_estimate :
+  Arch.t -> Precision.t -> nh:int -> np:int -> sweep list
+(** Simulated cost of one full triples sweep at production scale for the
+    three execution strategies of the paper's evaluation (COGENT,
+    NWChem-style fixed recipe, TAL_SH-style TTGT), fastest first. *)

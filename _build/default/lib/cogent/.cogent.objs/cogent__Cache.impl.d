@@ -1,0 +1,1 @@
+lib/cogent/cache.ml: Arch Ast Classify Driver Hashtbl List Precision Printf Problem String Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/cache.mli: Arch Driver Precision Problem Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/codegen.ml: Arch Ast Buffer Classify Format Index List Mapping Option Plan Precision Printf Problem String Tc_expr Tc_gpu Tc_tensor

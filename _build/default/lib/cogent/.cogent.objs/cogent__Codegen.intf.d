@@ -1,0 +1,1 @@
+lib/cogent/codegen.mli: Plan

@@ -1,0 +1,1 @@
+lib/cogent/cost.ml: Ast Classify Float Index List Mapping Precision Problem Tc_expr Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+lib/cogent/cost.mli: Index Mapping Precision Problem Tc_expr Tc_gpu Tc_tensor

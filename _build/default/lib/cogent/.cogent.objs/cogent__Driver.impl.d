@@ -1,0 +1,1 @@
+lib/cogent/driver.ml: Arch Codegen Cost Enumerate List Logs Mapping Plan Precision Prune Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/driver.mli: Arch Mapping Plan Precision Problem Prune Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/enumerate.ml: Classify Float Hashtbl Index List Mapping Option Printf Problem Set String Tc_expr Tc_tensor

@@ -1,0 +1,1 @@
+lib/cogent/enumerate.mli: Mapping Problem Tc_expr Tc_tensor

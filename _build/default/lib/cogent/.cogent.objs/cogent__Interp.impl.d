@@ -1,0 +1,1 @@
+lib/cogent/interp.ml: Array Classify Dense Format Index List Mapping Plan Problem Shape Tc_expr Tc_tensor

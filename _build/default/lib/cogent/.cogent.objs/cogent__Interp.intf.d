@@ -1,0 +1,1 @@
+lib/cogent/interp.mli: Dense Plan Tc_tensor

@@ -1,0 +1,1 @@
+lib/cogent/mapping.ml: Classify Format Index Int List Printf Problem Result Tc_expr Tc_tensor

@@ -1,0 +1,1 @@
+lib/cogent/mapping.mli: Format Index Problem Tc_expr Tc_tensor

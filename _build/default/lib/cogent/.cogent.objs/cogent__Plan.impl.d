@@ -1,0 +1,1 @@
+lib/cogent/plan.ml: Arch Cost Format Mapping Occupancy Precision Problem Prune Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/plan.mli: Arch Format Mapping Occupancy Precision Problem Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/prune.ml: Arch Classify Format Hashtbl Int List Mapping Occupancy Option Precision Problem Tc_expr Tc_gpu

@@ -1,0 +1,1 @@
+lib/cogent/variants.ml: Arch Ast Buffer Classify Codegen Driver Float Format List Plan Precision Printf Problem Result Sizes String Tc_expr Tc_gpu

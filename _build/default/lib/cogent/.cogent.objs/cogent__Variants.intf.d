@@ -1,0 +1,1 @@
+lib/cogent/variants.mli: Arch Ast Driver Index Plan Precision Sizes Tc_expr Tc_gpu Tc_tensor

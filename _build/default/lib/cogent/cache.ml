@@ -1,0 +1,53 @@
+open Tc_gpu
+open Tc_expr
+
+type t = {
+  table : (string, Driver.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { table = Hashtbl.create 32; hits = 0; misses = 0 }
+
+let round_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  let hi = go 1 in
+  let lo = max 1 (hi / 2) in
+  if n - lo <= hi - n then lo else hi
+
+let size_class problem =
+  let info = Problem.info problem in
+  String.concat ","
+    (List.map
+       (fun i ->
+         Printf.sprintf "%c:%d" i (round_pow2 (Problem.extent problem i)))
+       (Classify.all_indices info))
+
+let key ?(arch = Arch.v100) ?(precision = Precision.FP64) problem =
+  Printf.sprintf "%s|%s|%s|%s"
+    (Ast.tccg_string (Problem.info problem).Classify.original)
+    arch.Arch.name
+    (Precision.to_string precision)
+    (size_class problem)
+
+let find_or_generate t ?arch ?precision ?measure problem =
+  let k = key ?arch ?precision problem in
+  match Hashtbl.find_opt t.table k with
+  | Some r ->
+      t.hits <- t.hits + 1;
+      r
+  | None ->
+      t.misses <- t.misses + 1;
+      let r = Driver.generate_exn ?arch ?precision ?measure problem in
+      Hashtbl.add t.table k r;
+      r
+
+type stats = { entries : int; hits : int; misses : int }
+
+let stats t =
+  { entries = Hashtbl.length t.table; hits = t.hits; misses = t.misses }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0

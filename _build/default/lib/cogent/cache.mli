@@ -1,0 +1,34 @@
+(** Plan cache.
+
+    A runtime that issues many contractions (a coupled-cluster sweep, a
+    training loop) should not re-run the configuration search per call:
+    generated kernels take extents as runtime parameters, so one kernel per
+    (contraction, device, precision, size class) suffices — §IV-B's
+    "closest representative" selection, memoized.
+
+    The size class rounds every extent to the nearest power of two, so
+    nearby problem sizes share a plan while order-of-magnitude changes
+    trigger a fresh search. *)
+
+open Tc_gpu
+open Tc_expr
+
+type t
+
+val create : unit -> t
+
+val size_class : Problem.t -> string
+(** The rounding key, e.g. ["a:16,b:16,c:64"] — exposed for tests. *)
+
+val find_or_generate :
+  t -> ?arch:Arch.t -> ?precision:Precision.t -> ?measure:Driver.measure
+  -> Problem.t -> Driver.t
+(** Cached {!Driver.generate_exn}.  A hit may return a plan built for a
+    {e nearby} representative size: the kernel text is identical in
+    structure and valid for any extents; only the tile-selection inputs
+    differed. *)
+
+type stats = { entries : int; hits : int; misses : int }
+
+val stats : t -> stats
+val clear : t -> unit

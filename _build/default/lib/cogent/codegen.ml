@@ -1,0 +1,496 @@
+open Tc_tensor
+open Tc_gpu
+open Tc_expr
+
+
+type dialect = Cuda | Opencl
+
+let dialect_name = function Cuda -> "CUDA" | Opencl -> "OpenCL"
+
+(* ---- naming helpers ---- *)
+
+let kernel_name (plan : Plan.t) =
+  let info = Problem.info plan.Plan.problem in
+  let s = Ast.tccg_string info.Classify.original in
+  "cogent_" ^ String.map (fun c -> if c = '-' then '_' else c) s
+
+(* Everything the emitter needs about one tensor operand. *)
+type operand_view = {
+  cname : string;  (* g_A, g_B, g_C *)
+  indices : Index.t list;  (* layout order, FVI first *)
+  stride_prefix : string;  (* sA, sB, sC *)
+}
+
+type ctx = {
+  plan : Plan.t;
+  info : Classify.info;
+  dialect : dialect;
+  scalar : string;  (* "double" / "float" *)
+  zero : string;
+  i64 : string;  (* 64-bit integer type: "long long" / "long" *)
+  flag : string;  (* boolean type for guards: "bool" / "int" *)
+  smem_qual : string;  (* "__shared__" / "__local" *)
+  tile_of : Index.t -> int;
+  extent_name : Index.t -> string;  (* N_a *)
+  is_internal : Index.t -> bool;
+  base_name : Index.t -> string;  (* base_a or kbase_e *)
+}
+
+let make_ctx ?(dialect = Cuda) (plan : Plan.t) =
+  let info = Problem.info plan.Plan.problem in
+  let internal i = List.exists (Index.equal i) info.Classify.internals in
+  {
+    plan;
+    info;
+    dialect;
+    scalar = Precision.cuda_type plan.Plan.precision;
+    zero = (match plan.Plan.precision with FP64 -> "0.0" | FP32 -> "0.0f");
+    i64 = (match dialect with Cuda -> "long long" | Opencl -> "long");
+    flag = (match dialect with Cuda -> "bool" | Opencl -> "int");
+    smem_qual = (match dialect with Cuda -> "__shared__" | Opencl -> "__local");
+    tile_of = Mapping.tile_of plan.Plan.mapping;
+    extent_name = (fun i -> Printf.sprintf "N_%c" i);
+    is_internal = internal;
+    base_name =
+      (fun i -> Printf.sprintf (if internal i then "kbase_%c" else "base_%c") i);
+  }
+
+let lhs_view ctx =
+  { cname = "g_A"; indices = ctx.info.Classify.expr.Ast.lhs.Ast.indices;
+    stride_prefix = "sA" }
+
+let rhs_view ctx =
+  { cname = "g_B"; indices = ctx.info.Classify.expr.Ast.rhs.Ast.indices;
+    stride_prefix = "sB" }
+
+let out_view ctx =
+  { cname = "g_C"; indices = ctx.info.Classify.expr.Ast.out.Ast.indices;
+    stride_prefix = "sC" }
+
+(* ---- emission helpers ---- *)
+
+let bpf = Printf.bprintf
+
+(* Runtime global-memory strides of an operand, derived from extents. *)
+let emit_gmem_strides buf ctx view =
+  let rec go stride_expr = function
+    | [] -> ()
+    | i :: rest ->
+        bpf buf "  const %s %s_%c = %s;\n" ctx.i64 view.stride_prefix i
+          stride_expr;
+        go
+          (Printf.sprintf "%s_%c * %s" view.stride_prefix i (ctx.extent_name i))
+          rest
+  in
+  go (match ctx.dialect with Cuda -> "1LL" | Opencl -> "(long)1") view.indices
+
+(* Compile-time shared-memory strides of an input slab laid out in the
+   operand's own index order with tile-sized dims. *)
+let smem_strides ctx view =
+  let rec go acc stride = function
+    | [] -> List.rev acc
+    | i :: rest -> go ((i, stride) :: acc) (stride * ctx.tile_of i) rest
+  in
+  go [] 1 view.indices
+
+let slab_elems ctx view =
+  List.fold_left (fun acc i -> acc * ctx.tile_of i) 1 view.indices
+
+(* Decompose a flat loop variable [var] into one local coordinate per index
+   of [indices] (first = fastest).  Emits "const int <prefix>_<i> = ...". *)
+let emit_decompose buf ~indices ~tiles ~var ~prefix =
+  let tmp = var ^ "_r" in
+  let needs_tmp =
+    (* a temporary is only needed if some index after the first non-trivial
+       one also has a non-trivial tile *)
+    List.length (List.filter (fun t -> t > 1) tiles) > 1
+  in
+  if needs_tmp then bpf buf "      int %s = %s;\n" tmp var;
+  let n = List.length indices in
+  List.iteri
+    (fun k (i, t) ->
+      if t = 1 then bpf buf "      const int %s_%c = 0;\n" prefix i
+      else begin
+        let src = if needs_tmp then tmp else var in
+        if k = n - 1 then bpf buf "      const int %s_%c = %s;\n" prefix i src
+        else begin
+          bpf buf "      const int %s_%c = %s %% %d;\n" prefix i src t;
+          if needs_tmp then bpf buf "      %s /= %d;\n" tmp t
+        end
+      end)
+    (List.combine indices tiles)
+
+(* Sum-of-products address expression: base_i + local_i per index. *)
+let gmem_address ctx view ~local_prefix =
+  String.concat " + "
+    (List.map
+       (fun i ->
+         Printf.sprintf "(%s)(%s + %s_%c) * %s_%c" ctx.i64 (ctx.base_name i)
+           local_prefix i view.stride_prefix i)
+       view.indices)
+
+let smem_address ctx view ~coord =
+  let strides = smem_strides ctx view in
+  let terms =
+    List.filter_map
+      (fun (i, s) ->
+        let c = coord i in
+        if c = "0" then None
+        else if s = 1 then Some c
+        else Some (Printf.sprintf "%s * %d" c s))
+      strides
+  in
+  if terms = [] then "0" else String.concat " + " terms
+
+let guard_expr ctx view ~local_prefix =
+  String.concat " & "
+    (List.map
+       (fun i ->
+         Printf.sprintf "(%s + %s_%c < %s)" (ctx.base_name i) local_prefix i
+           (ctx.extent_name i))
+       view.indices)
+
+(* Cooperative GMEM -> SMEM staging loop for one input slab. *)
+let emit_slab_load buf ctx view ~smem ~local_prefix =
+  let elems = slab_elems ctx view in
+  let threads = Plan.threads_per_block ctx.plan in
+  let tiles = List.map ctx.tile_of view.indices in
+  bpf buf "    for (int l = tid; l < %d; l += %d) {\n" elems threads;
+  emit_decompose buf ~indices:view.indices ~tiles ~var:"l" ~prefix:local_prefix;
+  bpf buf "      const %s ok = %s;\n" ctx.flag (guard_expr ctx view ~local_prefix);
+  bpf buf "      %s[%s] = ok ? %s[%s] : %s;\n" smem
+    (smem_address ctx view ~coord:(fun i ->
+         Printf.sprintf "%s_%c" local_prefix i))
+    view.cname
+    (gmem_address ctx view ~local_prefix)
+    ctx.zero;
+  bpf buf "    }\n"
+
+(* ---- kernel ---- *)
+
+let emit_kernel ?name ?dialect plan =
+  let ctx = make_ctx ?dialect plan in
+  let name = Option.value name ~default:(kernel_name plan) in
+  let m = plan.Plan.mapping in
+  let a = lhs_view ctx and b = rhs_view ctx and c = out_view ctx in
+  let all_ext = ctx.info.Classify.externals in
+  let all_idx = Classify.all_indices ctx.info in
+  let buf = Buffer.create 4096 in
+  let tbx = m.Mapping.tbx and tby = m.Mapping.tby in
+  let regx = m.Mapping.regx and regy = m.Mapping.regy in
+  let tbk = m.Mapping.tbk in
+  let size_tbx = Mapping.size_tbx m and size_tby = Mapping.size_tby m in
+  let rx = Mapping.size_regx m and ry = Mapping.size_regy m in
+  let tk = Mapping.size_tbk m in
+  let slab_a = slab_elems ctx a and slab_b = slab_elems ctx b in
+  (match ctx.dialect with
+  | Cuda ->
+      bpf buf "extern \"C\" __global__ void %s(\n" name;
+      bpf buf "    %s* __restrict__ g_C,\n" ctx.scalar;
+      bpf buf "    const %s* __restrict__ g_A,\n" ctx.scalar;
+      bpf buf "    const %s* __restrict__ g_B" ctx.scalar
+  | Opencl ->
+      if ctx.plan.Plan.precision = Precision.FP64 then
+        bpf buf "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n";
+      bpf buf "__kernel void %s(\n" name;
+      bpf buf "    __global %s* restrict g_C,\n" ctx.scalar;
+      bpf buf "    __global const %s* restrict g_A,\n" ctx.scalar;
+      bpf buf "    __global const %s* restrict g_B" ctx.scalar);
+  List.iter (fun i -> bpf buf ",\n    const int N_%c" i) all_idx;
+  bpf buf ")\n{\n";
+  (* strides *)
+  emit_gmem_strides buf ctx a;
+  emit_gmem_strides buf ctx b;
+  emit_gmem_strides buf ctx c;
+  (* per-external chunk counts and block bases *)
+  List.iter
+    (fun i ->
+      bpf buf "  const int nb_%c = (N_%c + %d - 1) / %d;\n" i i (ctx.tile_of i)
+        (ctx.tile_of i))
+    all_ext;
+  bpf buf "  %s brem = %s;\n" ctx.i64
+    (match ctx.dialect with
+    | Cuda -> "blockIdx.x"
+    | Opencl -> "(long)get_group_id(0)");
+  List.iteri
+    (fun k i ->
+      if k = List.length all_ext - 1 then
+        bpf buf "  const int base_%c = (int)brem * %d;\n" i (ctx.tile_of i)
+      else begin
+        bpf buf "  const int base_%c = (int)(brem %% nb_%c) * %d;\n" i i
+          (ctx.tile_of i);
+        bpf buf "  brem /= nb_%c;\n" i
+      end)
+    all_ext;
+  (* per-internal step counts *)
+  List.iter
+    (fun i ->
+      bpf buf "  const int ns_%c = (N_%c + %d - 1) / %d;\n" i i (ctx.tile_of i)
+        (ctx.tile_of i))
+    ctx.info.Classify.internals;
+  let steps_expr =
+    match ctx.info.Classify.internals with
+    | [] -> "1"
+    | l -> String.concat " * " (List.map (Printf.sprintf "ns_%c") l)
+  in
+  bpf buf "  const int num_steps = %s;\n" steps_expr;
+  (* thread decomposition *)
+  (match ctx.dialect with
+  | Cuda -> bpf buf "  const int tx = threadIdx.x, ty = threadIdx.y;\n"
+  | Opencl ->
+      bpf buf
+        "  const int tx = get_local_id(0), ty = get_local_id(1);\n");
+  bpf buf "  const int tid = ty * %d + tx;\n" size_tbx;
+  let emit_thread_decomp var bindings =
+    let indices = List.map (fun bd -> bd.Mapping.index) bindings in
+    let tiles = List.map (fun bd -> bd.Mapping.tile) bindings in
+    if indices <> [] then begin
+      bpf buf "  {\n";
+      (* reuse emit_decompose at an outer indent; cosmetic only *)
+      emit_decompose buf ~indices ~tiles ~var ~prefix:"d";
+      List.iter (fun i -> bpf buf "      l_%c = d_%c;\n" i i) indices;
+      bpf buf "  }\n"
+    end
+  in
+  List.iter
+    (fun bd -> bpf buf "  int l_%c;\n" bd.Mapping.index)
+    (tbx @ tby);
+  emit_thread_decomp "tx" tbx;
+  emit_thread_decomp "ty" tby;
+  (* shared memory and registers *)
+  bpf buf "  %s %s s_A[%d];\n" ctx.smem_qual ctx.scalar slab_a;
+  bpf buf "  %s %s s_B[%d];\n" ctx.smem_qual ctx.scalar slab_b;
+  bpf buf "  %s r_C[%d];\n" ctx.scalar (rx * ry);
+  bpf buf "  %s r_A[%d];\n" ctx.scalar rx;
+  bpf buf "  %s r_B[%d];\n" ctx.scalar ry;
+  bpf buf "#pragma unroll\n";
+  bpf buf "  for (int i = 0; i < %d; ++i) r_C[i] = %s;\n" (rx * ry) ctx.zero;
+  (* main step loop *)
+  bpf buf "  for (int step = 0; step < num_steps; ++step) {\n";
+  (match ctx.info.Classify.internals with
+  | [] -> ()
+  | internals ->
+      bpf buf "    %s srem = step;\n" ctx.i64;
+      List.iteri
+        (fun k i ->
+          if k = List.length internals - 1 then
+            bpf buf "    const int kbase_%c = (int)srem * %d;\n" i
+              (ctx.tile_of i)
+          else begin
+            bpf buf "    const int kbase_%c = (int)(srem %% ns_%c) * %d;\n" i i
+              (ctx.tile_of i);
+            bpf buf "    srem /= ns_%c;\n" i
+          end)
+        internals);
+  bpf buf "    // (1) load input slabs from GMEM to SMEM\n";
+  emit_slab_load buf ctx a ~smem:"s_A" ~local_prefix:"la";
+  emit_slab_load buf ctx b ~smem:"s_B" ~local_prefix:"lb";
+  bpf buf "    %s\n"
+    (match ctx.dialect with
+    | Cuda -> "__syncthreads();"
+    | Opencl -> "barrier(CLK_LOCAL_MEM_FENCE);");
+  (* serial sweep over the TB_k tile *)
+  bpf buf "#pragma unroll\n";
+  bpf buf "    for (int kk = 0; kk < %d; ++kk) {\n" tk;
+  emit_decompose buf
+    ~indices:(List.map (fun bd -> bd.Mapping.index) tbk)
+    ~tiles:(List.map (fun bd -> bd.Mapping.tile) tbk)
+    ~var:"kk" ~prefix:"lk";
+  (* (2) SMEM -> registers.  A coordinate inside a slab is: thread-local
+     (l_i) for TB-mapped indices, register-local for REG-mapped indices,
+     lk_i for internals, 0 for grid indices. *)
+  let coord_a ~reg_var i =
+    if List.exists (fun bd -> Index.equal bd.Mapping.index i) tbx then
+      Printf.sprintf "l_%c" i
+    else if List.exists (fun bd -> Index.equal bd.Mapping.index i) regx then
+      Printf.sprintf "%s_%c" reg_var i
+    else if ctx.is_internal i then Printf.sprintf "lk_%c" i
+    else "0" (* grid-mapped lhs external: slab dim 1 *)
+  in
+  let coord_b ~reg_var i =
+    if List.exists (fun bd -> Index.equal bd.Mapping.index i) tby then
+      Printf.sprintf "l_%c" i
+    else if List.exists (fun bd -> Index.equal bd.Mapping.index i) regy then
+      Printf.sprintf "%s_%c" reg_var i
+    else if ctx.is_internal i then Printf.sprintf "lk_%c" i
+    else "0"
+  in
+  bpf buf "      // (2) load register vectors from SMEM\n";
+  bpf buf "#pragma unroll\n";
+  bpf buf "      for (int rx = 0; rx < %d; ++rx) {\n" rx;
+  emit_decompose buf
+    ~indices:(List.map (fun bd -> bd.Mapping.index) regx)
+    ~tiles:(List.map (fun bd -> bd.Mapping.tile) regx)
+    ~var:"rx" ~prefix:"ra";
+  bpf buf "      r_A[rx] = s_A[%s];\n"
+    (smem_address ctx a ~coord:(coord_a ~reg_var:"ra"));
+  bpf buf "      }\n";
+  bpf buf "#pragma unroll\n";
+  bpf buf "      for (int ry = 0; ry < %d; ++ry) {\n" ry;
+  emit_decompose buf
+    ~indices:(List.map (fun bd -> bd.Mapping.index) regy)
+    ~tiles:(List.map (fun bd -> bd.Mapping.tile) regy)
+    ~var:"ry" ~prefix:"rb";
+  bpf buf "      r_B[ry] = s_B[%s];\n"
+    (smem_address ctx b ~coord:(coord_b ~reg_var:"rb"));
+  bpf buf "      }\n";
+  bpf buf "      // (3) outer product\n";
+  bpf buf "#pragma unroll\n";
+  bpf buf "      for (int ry = 0; ry < %d; ++ry)\n" ry;
+  bpf buf "#pragma unroll\n";
+  bpf buf "        for (int rx = 0; rx < %d; ++rx)\n" rx;
+  bpf buf "          r_C[ry * %d + rx] += r_A[rx] * r_B[ry];\n" rx;
+  bpf buf "    }\n";
+  bpf buf "    %s\n"
+    (match ctx.dialect with
+    | Cuda -> "__syncthreads();"
+    | Opencl -> "barrier(CLK_LOCAL_MEM_FENCE);");
+  bpf buf "  }\n";
+  (* (4) store: coordinate of an output index comes from its mapping *)
+  bpf buf "  // (4) store the output tile from REG to GMEM\n";
+  bpf buf "#pragma unroll\n";
+  bpf buf "  for (int ry = 0; ry < %d; ++ry) {\n" ry;
+  emit_decompose buf
+    ~indices:(List.map (fun bd -> bd.Mapping.index) regy)
+    ~tiles:(List.map (fun bd -> bd.Mapping.tile) regy)
+    ~var:"ry" ~prefix:"rb";
+  bpf buf "#pragma unroll\n";
+  bpf buf "    for (int rx = 0; rx < %d; ++rx) {\n" rx;
+  emit_decompose buf
+    ~indices:(List.map (fun bd -> bd.Mapping.index) regx)
+    ~tiles:(List.map (fun bd -> bd.Mapping.tile) regx)
+    ~var:"rx" ~prefix:"ra";
+  let out_local i =
+    if List.exists (fun bd -> Index.equal bd.Mapping.index i) tbx then
+      Printf.sprintf "l_%c" i
+    else if List.exists (fun bd -> Index.equal bd.Mapping.index i) tby then
+      Printf.sprintf "l_%c" i
+    else if List.exists (fun bd -> Index.equal bd.Mapping.index i) regx then
+      Printf.sprintf "ra_%c" i
+    else if List.exists (fun bd -> Index.equal bd.Mapping.index i) regy then
+      Printf.sprintf "rb_%c" i
+    else "0" (* grid *)
+  in
+  let store_guard =
+    String.concat " & "
+      (List.map
+         (fun i ->
+           Printf.sprintf "(base_%c + %s < N_%c)" i (out_local i) i)
+         c.indices)
+  in
+  let store_addr =
+    String.concat " + "
+      (List.map
+         (fun i ->
+           Printf.sprintf "(%s)(base_%c + %s) * sC_%c" ctx.i64 i (out_local i) i)
+         c.indices)
+  in
+  bpf buf "      if (%s)\n" store_guard;
+  bpf buf "        g_C[%s] = r_C[ry * %d + rx];\n" store_addr rx;
+  bpf buf "    }\n";
+  bpf buf "  }\n";
+  bpf buf "}\n";
+  ignore size_tby;
+  Buffer.contents buf
+
+(* ---- launcher ---- *)
+
+let emit_launcher ?name plan =
+  let ctx = make_ctx plan in
+  let kname = Option.value name ~default:(kernel_name plan) in
+  let all_ext = ctx.info.Classify.externals in
+  let all_idx = Classify.all_indices ctx.info in
+  let m = plan.Plan.mapping in
+  let buf = Buffer.create 1024 in
+  bpf buf "extern \"C\" void %s_launch(\n" kname;
+  bpf buf "    %s* d_C, const %s* d_A, const %s* d_B" ctx.scalar ctx.scalar
+    ctx.scalar;
+  List.iter (fun i -> bpf buf ",\n    int N_%c" i) all_idx;
+  bpf buf ",\n    cudaStream_t stream)\n{\n";
+  bpf buf "  long long blocks = 1;\n";
+  List.iter
+    (fun i ->
+      bpf buf "  blocks *= (N_%c + %d - 1) / %d;\n" i (ctx.tile_of i)
+        (ctx.tile_of i))
+    all_ext;
+  bpf buf "  dim3 block(%d, %d);\n" (Mapping.size_tbx m) (Mapping.size_tby m);
+  bpf buf "  %s<<<(unsigned)blocks, block, 0, stream>>>(d_C, d_A, d_B%s);\n"
+    kname
+    (String.concat ""
+       (List.map (fun i -> Printf.sprintf ", N_%c" i) all_idx));
+  bpf buf "}\n";
+  Buffer.contents buf
+
+let header plan =
+  let info = Problem.info plan.Plan.problem in
+  Format.asprintf
+    "// Generated by COGENT (OCaml reproduction of Kim et al., CGO 2019)@\n\
+     // contraction: %a@\n\
+     // mapping:     %a@\n\
+     // target:      %s, %a; %d threads/block, %d B smem, %d blocks, %d steps@\n\
+     // model cost:  %.0f DRAM transactions@\n"
+    Ast.pp info.Classify.original Mapping.pp plan.Plan.mapping
+    plan.Plan.arch.Arch.name Precision.pp plan.Plan.precision
+    (Plan.threads_per_block plan) (Plan.smem_bytes plan) (Plan.num_blocks plan)
+    (Plan.num_steps plan) plan.Plan.cost
+
+let emit ?name plan =
+  String.concat "\n" [ header plan; emit_kernel ?name plan; emit_launcher ?name plan ]
+
+let emit_opencl ?name plan =
+  let m = plan.Plan.mapping in
+  let ctx = make_ctx ~dialect:Opencl plan in
+  let launch_note =
+    Format.asprintf
+      "// launch geometry: local = (%d, %d); global = (%d * num_blocks, %d)@\n\
+       // where num_blocks = prod over externals of ceil(N_i / tile_i)@\n\
+       // (representative size: %d blocks)@\n"
+      (Mapping.size_tbx m) (Mapping.size_tby m) (Mapping.size_tbx m)
+      (Mapping.size_tby m) (Plan.num_blocks plan)
+  in
+  ignore ctx;
+  String.concat "\n"
+    [ header plan; launch_note; emit_kernel ?name ~dialect:Opencl plan ]
+
+let emit_standalone ?name plan =
+  let ctx = make_ctx plan in
+  let kname = Option.value name ~default:(kernel_name plan) in
+  let all_idx = Classify.all_indices ctx.info in
+  let problem = plan.Plan.problem in
+  let buf = Buffer.create 4096 in
+  bpf buf "#include <cstdio>\n#include <cuda_runtime.h>\n\n";
+  Buffer.add_string buf (emit ?name plan);
+  bpf buf "\nint main()\n{\n";
+  List.iter
+    (fun i -> bpf buf "  const int N_%c = %d;\n" i (Problem.extent problem i))
+    all_idx;
+  let elems view =
+    String.concat " * "
+      (List.map (fun i -> Printf.sprintf "(size_t)N_%c" i) view.indices)
+  in
+  bpf buf "  size_t szA = %s, szB = %s, szC = %s;\n"
+    (elems (lhs_view ctx)) (elems (rhs_view ctx)) (elems (out_view ctx));
+  bpf buf "  %s *d_A, *d_B, *d_C;\n" ctx.scalar;
+  bpf buf "  cudaMalloc(&d_A, szA * sizeof(%s));\n" ctx.scalar;
+  bpf buf "  cudaMalloc(&d_B, szB * sizeof(%s));\n" ctx.scalar;
+  bpf buf "  cudaMalloc(&d_C, szC * sizeof(%s));\n" ctx.scalar;
+  bpf buf "  cudaEvent_t t0, t1; cudaEventCreate(&t0); cudaEventCreate(&t1);\n";
+  bpf buf "  const int reps = 3;\n";
+  bpf buf "  %s_launch(d_C, d_A, d_B%s, 0); // warm-up\n" kname
+    (String.concat ""
+       (List.map (fun i -> Printf.sprintf ", N_%c" i) all_idx));
+  bpf buf "  cudaEventRecord(t0);\n";
+  bpf buf "  for (int r = 0; r < reps; ++r)\n";
+  bpf buf "    %s_launch(d_C, d_A, d_B%s, 0);\n" kname
+    (String.concat ""
+       (List.map (fun i -> Printf.sprintf ", N_%c" i) all_idx));
+  bpf buf "  cudaEventRecord(t1); cudaEventSynchronize(t1);\n";
+  bpf buf "  float ms = 0.f; cudaEventElapsedTime(&ms, t0, t1);\n";
+  bpf buf "  double flops = %.1f;\n" (Problem.flops problem);
+  bpf buf
+    "  printf(\"%s: %%.3f ms, %%.1f GFLOPS\\n\", ms / reps, flops / (ms / \
+     reps) / 1e6);\n"
+    kname;
+  bpf buf "  cudaFree(d_A); cudaFree(d_B); cudaFree(d_C);\n";
+  bpf buf "  return 0;\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** CUDA C code generation (Algorithm 1).
+
+    Emits, for a given plan, a kernel with the four-phase structure of the
+    paper — cooperative GMEM→SMEM staging of input slabs, SMEM→register
+    vector loads, register-tile outer products over the serial TB_k sweep,
+    and guarded coalesced stores — plus a host-side launcher.
+
+    Tile sizes, thread-block shape and shared-memory footprints are baked in
+    as compile-time constants (they define the configuration); tensor
+    extents remain {e runtime parameters}, so one generated kernel supports
+    arbitrary problem sizes and the representative size only drives the
+    configuration choice (§IV-B). *)
+
+type dialect = Cuda | Opencl
+
+val dialect_name : dialect -> string
+
+val kernel_name : Plan.t -> string
+(** A C identifier derived from the TCCG string of the contraction,
+    e.g. ["cogent_abcd_aebf_dfce"]. *)
+
+val emit_kernel : ?name:string -> ?dialect:dialect -> Plan.t -> string
+(** The kernel definition only ([__global__] CUDA by default; with
+    [~dialect:Opencl] an OpenCL [__kernel] using [__local] staging and
+    [barrier] synchronization — the OpenCL back end the paper lists as
+    future work). *)
+
+val emit_launcher : ?name:string -> Plan.t -> string
+(** An [extern "C"] host function computing the grid decomposition and
+    launching the kernel. *)
+
+val emit : ?name:string -> Plan.t -> string
+(** Header comment + kernel + launcher: a compilable [.cu] translation
+    unit (given CUDA headers). *)
+
+val emit_standalone : ?name:string -> Plan.t -> string
+(** {!emit} plus a [main] that allocates device buffers at the
+    representative problem size, runs the kernel repeatedly and reports
+    GFLOPS — the shape of the paper's benchmark drivers. *)
+
+val emit_opencl : ?name:string -> Plan.t -> string
+(** A complete [.cl] translation unit: header comment, the OpenCL kernel,
+    and a comment documenting the NDRange launch geometry
+    (global/local work sizes) the host must use. *)

@@ -1,0 +1,100 @@
+open Tc_tensor
+open Tc_gpu
+open Tc_expr
+
+let ceil_div a b = (a + b - 1) / b
+
+let contiguous_run problem mapping indices =
+  let rec go acc = function
+    | [] -> acc
+    | i :: rest ->
+        let tile = Mapping.tile_of mapping i in
+        let extent = Problem.extent problem i in
+        if tile = extent then go (acc * tile) rest else acc * tile
+  in
+  go 1 indices
+
+let store_run problem mapping =
+  let info = Problem.info problem in
+  let in_tbx i =
+    List.exists (fun b -> Index.equal b.Mapping.index i) mapping.Mapping.tbx
+  in
+  let rec go acc = function
+    | [] -> acc
+    | i :: rest ->
+        if not (in_tbx i) then acc
+        else
+          let tile = Mapping.tile_of mapping i in
+          let extent = Problem.extent problem i in
+          if tile = extent then go (acc * tile) rest else acc * tile
+  in
+  go 1 info.Classify.externals
+
+type breakdown = { lhs : float; rhs : float; out : float }
+
+(* Transactions for one cooperative sweep of [width] threads over elements
+   grouped in contiguous segments of length [run]: the sweep is split into
+   ceil(width/run') segments of run' = min(run, width) elements, each
+   costing ceil(run'/elements-per-transaction) transactions. *)
+let sweep_transactions ~width ~run ~ept =
+  let run = max 1 (min run width) in
+  let segments = ceil_div width run in
+  segments * ceil_div run ept
+
+let tile_elems problem mapping indices =
+  ignore problem;
+  List.fold_left (fun acc i -> acc * Mapping.tile_of mapping i) 1 indices
+
+let load_transactions prec problem mapping indices =
+  let ept = Precision.elems_per_transaction prec in
+  let width = Mapping.size_tbx mapping * Mapping.size_tby mapping in
+  let elems = tile_elems problem mapping indices in
+  let run = contiguous_run problem mapping indices in
+  let rows = ceil_div elems (max 1 width) in
+  let width = min width elems in
+  float_of_int (rows * sweep_transactions ~width ~run ~ept)
+
+let transactions prec problem mapping =
+  let info = Problem.info problem in
+  let ept = Precision.elems_per_transaction prec in
+  let steps = float_of_int (Mapping.num_steps problem mapping) in
+  let blocks = float_of_int (Mapping.num_blocks problem mapping) in
+  let lhs_per_step =
+    load_transactions prec problem mapping
+      info.Classify.expr.Ast.lhs.Ast.indices
+  in
+  let rhs_per_step =
+    load_transactions prec problem mapping
+      info.Classify.expr.Ast.rhs.Ast.indices
+  in
+  (* Output store: one sweep of the TBx*TBy thread grid per (REGx, REGy)
+     register coordinate. *)
+  let out_per_block =
+    let width = Mapping.size_tbx mapping * Mapping.size_tby mapping in
+    let run = store_run problem mapping in
+    let sweeps = Mapping.size_regx mapping * Mapping.size_regy mapping in
+    float_of_int (sweeps * sweep_transactions ~width ~run ~ept)
+  in
+  {
+    lhs = lhs_per_step *. steps *. blocks;
+    rhs = rhs_per_step *. steps *. blocks;
+    out = out_per_block *. blocks;
+  }
+
+let total prec problem mapping =
+  let b = transactions prec problem mapping in
+  b.lhs +. b.rhs +. b.out
+
+let bytes_moved prec problem mapping = 128.0 *. total prec problem mapping
+
+let rank prec problem mappings =
+  let scored = List.map (fun m -> (m, total prec problem m)) mappings in
+  List.sort
+    (fun (m1, c1) (m2, c2) ->
+      match Float.compare c1 c2 with
+      | 0 -> Mapping.compare m1 m2
+      | c -> c)
+    scored
+
+let best prec problem mappings =
+  match rank prec problem mappings with [] -> None | hd :: _ -> Some hd

@@ -1,0 +1,43 @@
+(** Analytical DRAM-transaction cost model (Algorithm 3).
+
+    For a candidate configuration the model estimates the number of global
+    memory transactions needed to load both input slabs every step and to
+    store the output once, assuming 128-byte aligned transactions (16 FP64 /
+    32 FP32 elements).  Coalescing is captured by the length of contiguous
+    runs inside a staged hyper-rectangular tile: a run ends at the first
+    index whose tile does not cover its full extent. *)
+
+open Tc_tensor
+open Tc_gpu
+open Tc_expr
+
+val contiguous_run : Problem.t -> Mapping.t -> Index.t list -> int
+(** [contiguous_run p m indices] is the length of a maximal contiguous run
+    of global-memory elements inside the tile of a tensor whose layout is
+    [indices] (FVI first): the product of leading tile sizes up to and
+    including the first partially-tiled index. *)
+
+val store_run : Problem.t -> Mapping.t -> int
+(** Contiguous-run length for output stores: only [TB_x]-mapped indices
+    vary within one store instruction, so the run stops at the first output
+    index not mapped to [TB_x]. *)
+
+type breakdown = {
+  lhs : float;  (** transactions to load the lhs input over all steps/blocks *)
+  rhs : float;
+  out : float;  (** transactions to store the output *)
+}
+
+val transactions : Precision.t -> Problem.t -> Mapping.t -> breakdown
+val total : Precision.t -> Problem.t -> Mapping.t -> float
+
+val bytes_moved : Precision.t -> Problem.t -> Mapping.t -> float
+(** [total * 128]. *)
+
+val rank :
+  Precision.t -> Problem.t -> Mapping.t list -> (Mapping.t * float) list
+(** Configurations sorted by ascending cost; ties broken deterministically
+    by {!Mapping.compare}. *)
+
+val best :
+  Precision.t -> Problem.t -> Mapping.t list -> (Mapping.t * float) option

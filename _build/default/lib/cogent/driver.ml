@@ -1,0 +1,87 @@
+open Tc_gpu
+
+let log_src = Logs.Src.create "cogent.driver" ~doc:"COGENT code generation"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  plan : Plan.t;
+  ranked : (Mapping.t * float) list;
+  prune_stats : Prune.stats;
+  naive_space : float;
+}
+
+type measure = Plan.t -> float
+
+let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
+    ?(refine = 8) ?measure problem =
+  let configs = Enumerate.enumerate problem in
+  let kept, prune_stats = Prune.filter arch precision problem configs in
+  Log.debug (fun m ->
+      m "%a: enumerated %d, kept %d%s" Tc_expr.Problem.pp problem
+        prune_stats.Prune.enumerated prune_stats.Prune.kept
+        (if prune_stats.Prune.relaxed then " (relaxed)" else ""));
+  match Cost.rank precision problem kept with
+  | [] -> Error "no hardware-feasible configuration for this contraction"
+  | (top, _) :: _ as ranked ->
+      let plan_of mapping = Plan.make ~problem ~mapping ~arch ~precision in
+      (* Benchmark the top model-ranked candidates and keep the fastest —
+         the paper auto-tunes across the model-selected set (§VI). *)
+      let plan =
+        match measure with
+        | None -> plan_of top
+        | Some run ->
+            let candidates =
+              List.filteri (fun k _ -> k < max 1 refine) ranked
+            in
+            let best, _ =
+              List.fold_left
+                (fun (bp, bg) (m, _) ->
+                  let p = plan_of m in
+                  let g = run p in
+                  if g > bg then (p, g) else (bp, bg))
+                (plan_of top, run (plan_of top))
+                candidates
+            in
+            best
+      in
+      Log.info (fun m ->
+          m "selected %a (cost %.3e)" Mapping.pp plan.Plan.mapping
+            plan.Plan.cost);
+      Ok
+        {
+          plan;
+          ranked;
+          prune_stats;
+          naive_space = Enumerate.naive_space_size problem;
+        }
+
+let generate ?arch ?precision ?refine ?measure ?(auto_split = false) problem =
+  let base = generate_one ?arch ?precision ?refine ?measure problem in
+  if not auto_split then base
+  else
+    match (Tc_expr.Split.auto problem, measure, base) with
+    | (split_problem, _ :: _), Some run, Ok base_t -> (
+        match
+          generate_one ?arch ?precision ?refine ~measure:run split_problem
+        with
+        | Error _ -> base
+        | Ok split_t ->
+            if run split_t.plan > run base_t.plan then Ok split_t else base)
+    | _ -> base
+
+let generate_exn ?arch ?precision ?refine ?measure ?auto_split problem =
+  match generate ?arch ?precision ?refine ?measure ?auto_split problem with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Driver.generate: " ^ e)
+
+let best_plan ?arch ?precision ?refine ?measure ?auto_split problem =
+  (generate_exn ?arch ?precision ?refine ?measure ?auto_split problem).plan
+
+let cuda_source t = Codegen.emit t.plan
+
+let top_plans ?(n = 5) t =
+  List.filteri (fun k _ -> k < n) t.ranked
+  |> List.map (fun (mapping, _) ->
+         Plan.make ~problem:t.plan.Plan.problem ~mapping ~arch:t.plan.Plan.arch
+           ~precision:t.plan.Plan.precision)

@@ -1,0 +1,54 @@
+(** End-to-end code generation: enumerate → prune → cost-rank → plan → CUDA.
+
+    This is the public entry point mirroring the COGENT tool: given a
+    contraction (in either concrete syntax), a representative problem size
+    and a target device, produce the best kernel plan and its CUDA source,
+    together with the search statistics the paper reports (§IV-A3). *)
+
+open Tc_gpu
+open Tc_expr
+
+type t = {
+  plan : Plan.t;  (** the selected configuration (see [refine]) *)
+  ranked : (Mapping.t * float) list;
+      (** all surviving configurations, ascending model cost *)
+  prune_stats : Prune.stats;
+  naive_space : float;  (** unpruned search-space size (§IV formula) *)
+}
+
+type measure = Plan.t -> float
+(** Empirical throughput of a candidate plan (higher is better) — in this
+    repository the kernel simulator, on real hardware a timed run. *)
+
+val generate :
+  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
+  -> ?auto_split:bool -> Problem.t -> (t, string) result
+(** Defaults: V100, FP64.  Per the paper's methodology, the model ranks the
+    pruned space and the top [refine] candidates (default 8) are then
+    benchmarked with [measure] to select the final kernel; [refine:1]
+    gives pure model-driven selection.  When no [measure] is supplied the
+    model ranking alone decides (equivalent to [refine:1]).  [Error] only
+    when the contraction admits no hardware-feasible configuration (never
+    observed for valid inputs).
+
+    [auto_split:true] additionally considers the {!Tc_expr.Split.auto}
+    rewriting of register-starved contractions (an extension §IV names) and
+    keeps whichever variant [measure] scores higher — splitting is a pure
+    relabeling of the same memory, so the winning plan's kernel applies to
+    the original data unchanged. *)
+
+val generate_exn :
+  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
+  -> ?auto_split:bool -> Problem.t -> t
+
+val best_plan :
+  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
+  -> ?auto_split:bool -> Problem.t -> Plan.t
+(** Shorthand for [(generate_exn p).plan]. *)
+
+val cuda_source : t -> string
+(** CUDA translation unit for the selected plan. *)
+
+val top_plans : ?n:int -> t -> Plan.t list
+(** The [n] (default 5) lowest-cost plans, e.g. to auto-tune among a model-
+    selected shortlist as §VI suggests. *)

@@ -1,0 +1,22 @@
+(** Host-side execution of a kernel plan.
+
+    Interprets exactly the schedule the CUDA generator emits (Algorithm 1):
+    the grid is decomposed per external index, each block stages
+    hyper-rectangular slabs of both inputs into simulated shared memory once
+    per step (guarded, zero-padded at boundaries), each (thread, register
+    coordinate) accumulates outer-product contributions across the serial
+    TB_k dimension, and finalized register tiles are stored back with bounds
+    guards.
+
+    Because the loop structure, decompositions and address arithmetic mirror
+    the generated CUDA one-for-one, agreement with {!Tc_tensor.Contract_ref}
+    validates the code generation schema itself. *)
+
+open Tc_tensor
+
+val execute : Plan.t -> lhs:Dense.t -> rhs:Dense.t -> Dense.t
+(** [execute plan ~lhs ~rhs] contracts the tensors given {e as written} in
+    the original expression (any lhs/rhs canonicalization swap is resolved
+    internally) and returns the output tensor in its declared layout.
+    @raise Invalid_argument if a tensor's shape does not match the plan's
+    problem. *)

@@ -1,0 +1,38 @@
+open Tc_gpu
+open Tc_expr
+
+type t = {
+  problem : Problem.t;
+  mapping : Mapping.t;
+  arch : Arch.t;
+  precision : Precision.t;
+  cost : float;
+}
+
+let make ~problem ~mapping ~arch ~precision =
+  (match Mapping.validate problem mapping with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Plan.make: invalid mapping: " ^ e));
+  let cost = Cost.total precision problem mapping in
+  { problem; mapping; arch; precision; cost }
+
+let threads_x t = Mapping.size_tbx t.mapping
+let threads_y t = Mapping.size_tby t.mapping
+let threads_per_block t = Mapping.threads_per_block t.mapping
+let smem_bytes t = Prune.smem_bytes t.precision t.mapping
+let regs_per_thread t = Prune.regs_per_thread t.precision t.mapping
+let num_blocks t = Mapping.num_blocks t.problem t.mapping
+let num_steps t = Mapping.num_steps t.problem t.mapping
+let occupancy t = Prune.occupancy t.arch t.precision t.mapping
+let flops t = Problem.flops t.problem
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>plan for %a on %s (%a)@,\
+     \  %a@,\
+     \  %dx%d threads, %d blocks, %d steps, %d B smem, ~%d regs/thread@,\
+     \  occupancy %.2f, model cost %.3e transactions@]"
+    Problem.pp t.problem t.arch.Arch.name Precision.pp t.precision Mapping.pp
+    t.mapping (threads_x t) (threads_y t) (num_blocks t) (num_steps t)
+    (smem_bytes t) (regs_per_thread t)
+    (occupancy t).Occupancy.occupancy t.cost

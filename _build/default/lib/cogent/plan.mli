@@ -1,0 +1,32 @@
+(** A fully-resolved kernel plan: a contraction, a configuration that
+    survived pruning, the target device and precision, and every derived
+    launch quantity.  Plans are what the code generator emits, the
+    interpreter executes and the simulator times. *)
+
+open Tc_gpu
+open Tc_expr
+
+type t = {
+  problem : Problem.t;
+  mapping : Mapping.t;
+  arch : Arch.t;
+  precision : Precision.t;
+  cost : float;  (** Algorithm-3 model cost (DRAM transactions) *)
+}
+
+val make :
+  problem:Problem.t -> mapping:Mapping.t -> arch:Arch.t
+  -> precision:Precision.t -> t
+(** Computes the model cost. @raise Invalid_argument if the mapping fails
+    {!Mapping.validate}. *)
+
+val threads_x : t -> int
+val threads_y : t -> int
+val threads_per_block : t -> int
+val smem_bytes : t -> int
+val regs_per_thread : t -> int
+val num_blocks : t -> int
+val num_steps : t -> int
+val occupancy : t -> Occupancy.result
+val flops : t -> float
+val pp : Format.formatter -> t -> unit

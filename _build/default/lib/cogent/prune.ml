@@ -1,0 +1,171 @@
+open Tc_gpu
+open Tc_expr
+
+type reason =
+  | Too_many_threads
+  | Too_few_threads
+  | Smem_overflow
+  | Regs_overflow
+  | Low_occupancy
+  | Too_few_blocks
+  | Uncoalesced_out
+  | Uncoalesced_lhs
+  | Uncoalesced_rhs
+
+let reason_to_string = function
+  | Too_many_threads -> "too many threads per block"
+  | Too_few_threads -> "fewer threads than a warp"
+  | Smem_overflow -> "shared memory overflow"
+  | Regs_overflow -> "register overflow"
+  | Low_occupancy -> "low occupancy"
+  | Too_few_blocks -> "too few thread blocks"
+  | Uncoalesced_out -> "uncoalesced output stores"
+  | Uncoalesced_lhs -> "uncoalesced lhs loads"
+  | Uncoalesced_rhs -> "uncoalesced rhs loads"
+
+let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
+
+let min_occupancy = 0.25
+let min_blocks_factor = 2
+let min_fvi_tile = 4
+
+let regs_per_thread prec mapping =
+  let factor = Precision.bytes prec / 4 in
+  (factor * Mapping.reg_elems_per_thread mapping) + 32
+
+let smem_bytes prec mapping =
+  Mapping.smem_elems mapping * Precision.bytes prec
+
+let occupancy arch prec mapping =
+  Occupancy.calculate arch
+    {
+      Occupancy.threads_per_block = Mapping.threads_per_block mapping;
+      smem_per_block = smem_bytes prec mapping;
+      regs_per_thread = min 255 (regs_per_thread prec mapping);
+    }
+
+(* Coalescing guard: the tile of a tensor's FVI must cover the whole (small)
+   extent or be at least [min_fvi_tile]. *)
+let fvi_ok problem mapping fvi =
+  let tile = Mapping.tile_of mapping fvi in
+  tile >= min (Problem.extent problem fvi) min_fvi_tile
+
+type klass =
+  | Hardware
+  | Perf_occupancy
+  | Perf_blocks
+  | Perf_coalescing_out
+  | Perf_coalescing_in
+
+let constraints arch prec problem mapping =
+  let info = Problem.info problem in
+  let occ = occupancy arch prec mapping in
+  [
+    ( Hardware,
+      Too_many_threads,
+      Mapping.threads_per_block mapping <= arch.Arch.max_threads_per_block );
+    (Hardware, Smem_overflow, smem_bytes prec mapping <= arch.Arch.smem_per_block);
+    ( Hardware,
+      Regs_overflow,
+      regs_per_thread prec mapping <= arch.Arch.regs_per_thread_max
+      && occ.Occupancy.limiter <> Occupancy.Invalid );
+    (Perf_occupancy, Low_occupancy, occ.Occupancy.occupancy >= min_occupancy);
+    ( Perf_occupancy,
+      Too_few_threads,
+      Mapping.threads_per_block mapping >= arch.Arch.warp_size );
+    ( Perf_blocks,
+      Too_few_blocks,
+      Mapping.num_blocks problem mapping >= min_blocks_factor * arch.Arch.sms
+    );
+    ( Perf_coalescing_out,
+      Uncoalesced_out,
+      fvi_ok problem mapping info.Classify.out_fvi );
+    ( Perf_coalescing_in,
+      Uncoalesced_lhs,
+      fvi_ok problem mapping info.Classify.lhs_fvi );
+    ( Perf_coalescing_in,
+      Uncoalesced_rhs,
+      fvi_ok problem mapping info.Classify.rhs_fvi );
+  ]
+
+let check_classes classes arch prec problem mapping =
+  let rec go = function
+    | [] -> Ok ()
+    | (klass, reason, ok) :: rest ->
+        if List.mem klass classes && not ok then Error reason else go rest
+  in
+  go (constraints arch prec problem mapping)
+
+let all_classes =
+  [ Hardware; Perf_occupancy; Perf_blocks; Perf_coalescing_out;
+    Perf_coalescing_in ]
+
+let check arch prec problem mapping =
+  check_classes all_classes arch prec problem mapping
+
+type stats = {
+  enumerated : int;
+  kept : int;
+  pruned : (reason * int) list;
+  relaxed : bool;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt "@[<v>%d enumerated, %d kept (%.1f%% pruned)%s" s.enumerated
+    s.kept
+    (if s.enumerated = 0 then 0.0
+     else
+       100.0
+       *. float_of_int (s.enumerated - s.kept)
+       /. float_of_int s.enumerated)
+    (if s.relaxed then " [performance constraints relaxed]" else "");
+  List.iter
+    (fun (r, n) -> Format.fprintf fmt "@,  %a: %d" pp_reason r n)
+    s.pruned;
+  Format.fprintf fmt "@]"
+
+let filter ?(performance = true) arch prec problem mappings =
+  let tally = Hashtbl.create 8 in
+  let primary = if performance then all_classes else [ Hardware ] in
+  let run classes =
+    List.filter
+      (fun m ->
+        match check_classes classes arch prec problem m with
+        | Ok () -> true
+        | Error r ->
+            if classes == primary then
+              Hashtbl.replace tally r
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tally r));
+            false)
+      mappings
+  in
+  let strict = run primary in
+  let kept, relaxed =
+    if strict <> [] then (strict, false)
+    else
+      (* Relax performance constraints progressively; hardware stays.  The
+         input-coalescing rules go first: when both input FVIs are internal
+         they are jointly unsatisfiable under Algorithm 2's packing, and the
+         block-count/occupancy rules should survive that case. *)
+      let attempts =
+        [
+          [ Hardware; Perf_blocks; Perf_coalescing_out; Perf_coalescing_in ];
+          [ Hardware; Perf_occupancy; Perf_blocks; Perf_coalescing_out ];
+          [ Hardware; Perf_blocks; Perf_coalescing_out ];
+          [ Hardware; Perf_coalescing_out; Perf_coalescing_in ];
+          [ Hardware; Perf_coalescing_out ];
+          [ Hardware ];
+        ]
+      in
+      let rec try_relax = function
+        | [] -> ([], true)
+        | classes :: rest -> (
+            match run classes with [] -> try_relax rest | l -> (l, true))
+      in
+      try_relax attempts
+  in
+  let pruned =
+    Hashtbl.fold (fun r n acc -> (r, n) :: acc) tally []
+    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  (kept, { enumerated = List.length mappings; kept = List.length kept; pruned; relaxed })

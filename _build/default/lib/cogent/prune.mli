@@ -1,0 +1,63 @@
+(** Hardware and performance constraints (§IV-A1, §IV-A2).
+
+    Hardware constraints reject configurations that cannot run at all
+    (shared-memory or register overflow, too many threads).  Performance
+    constraints reject configurations expected to perform poorly
+    (uncoalesced access to a tensor's FVI, too few thread blocks, low
+    occupancy).  On the evaluated benchmarks about 97% of enumerated
+    configurations are pruned (§IV-A3). *)
+
+open Tc_gpu
+open Tc_expr
+
+type reason =
+  | Too_many_threads
+  | Too_few_threads  (** blocks smaller than one warp waste lanes *)
+  | Smem_overflow
+  | Regs_overflow
+  | Low_occupancy  (** below {!min_occupancy} *)
+  | Too_few_blocks  (** fewer than [min_blocks_factor * SMs] blocks *)
+  | Uncoalesced_out  (** output FVI tile too small for coalesced stores *)
+  | Uncoalesced_lhs  (** lhs FVI tile too small for coalesced loads *)
+  | Uncoalesced_rhs
+
+val pp_reason : Format.formatter -> reason -> unit
+val reason_to_string : reason -> string
+
+val min_occupancy : float
+val min_blocks_factor : int
+val min_fvi_tile : int
+
+val regs_per_thread : Precision.t -> Mapping.t -> int
+(** Register footprint estimate: accumulators + staging vectors (doubled in
+    FP64, registers being 32-bit) plus a fixed allowance for index
+    arithmetic. *)
+
+val smem_bytes : Precision.t -> Mapping.t -> int
+
+val occupancy : Arch.t -> Precision.t -> Mapping.t -> Occupancy.result
+
+val check :
+  Arch.t -> Precision.t -> Problem.t -> Mapping.t -> (unit, reason) result
+(** First violated constraint, hardware constraints checked first. *)
+
+type stats = {
+  enumerated : int;
+  kept : int;
+  pruned : (reason * int) list;  (** per-reason counts, descending *)
+  relaxed : bool;
+      (** true when performance constraints had to be relaxed because no
+          configuration satisfied them (tiny problems) — a documented
+          deviation to keep every contraction compilable *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val filter :
+  ?performance:bool -> Arch.t -> Precision.t -> Problem.t -> Mapping.t list
+  -> Mapping.t list * stats
+(** Keeps configurations passing {!check}.  If none pass, performance
+    constraints are relaxed one class at a time (occupancy, then block
+    count, then coalescing); hardware constraints are never relaxed.
+    [performance:false] applies hardware constraints only — an ablation
+    hook for quantifying what §IV-A2's rules buy. *)

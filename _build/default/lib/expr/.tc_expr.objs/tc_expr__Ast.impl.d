@@ -1,0 +1,1 @@
+lib/expr/ast.ml: Format Index List Printf Tc_tensor

@@ -1,0 +1,1 @@
+lib/expr/classify.ml: Ast Format Index List Printf Result Tc_tensor

@@ -1,0 +1,1 @@
+lib/expr/classify.mli: Ast Format Index Tc_tensor

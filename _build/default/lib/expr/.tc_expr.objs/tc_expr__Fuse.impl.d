@@ -1,0 +1,1 @@
+lib/expr/fuse.ml: Ast Classify Format Hashtbl Index List Option Printf Problem Tc_tensor

@@ -1,0 +1,1 @@
+lib/expr/fuse.mli: Format Index Problem Tc_tensor

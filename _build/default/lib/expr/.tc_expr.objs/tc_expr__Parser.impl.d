@@ -1,0 +1,1 @@
+lib/expr/parser.ml: Ast Format Index List Printf Result String Tc_tensor

@@ -1,0 +1,1 @@
+lib/expr/problem.ml: Ast Classify Format Index List Parser Printf Result Shape Sizes Tc_tensor

@@ -1,0 +1,1 @@
+lib/expr/problem.mli: Ast Classify Format Index Shape Sizes Tc_tensor

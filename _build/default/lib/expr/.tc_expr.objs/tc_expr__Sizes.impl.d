@@ -1,0 +1,1 @@
+lib/expr/sizes.ml: Format Index List Printf String Tc_tensor

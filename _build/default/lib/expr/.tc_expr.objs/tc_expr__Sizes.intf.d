@@ -1,0 +1,1 @@
+lib/expr/sizes.mli: Format Index Tc_tensor

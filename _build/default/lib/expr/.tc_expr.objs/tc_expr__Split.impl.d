@@ -1,0 +1,1 @@
+lib/expr/split.ml: Ast Char Classify Format Index List Printf Problem Result Tc_tensor

@@ -1,0 +1,1 @@
+lib/expr/split.mli: Format Index Problem Tc_tensor

@@ -1,0 +1,28 @@
+open Tc_tensor
+
+type tensor_ref = { name : string; indices : Index.t list }
+type t = { out : tensor_ref; lhs : tensor_ref; rhs : tensor_ref }
+
+let make ~out ~lhs ~rhs = { out; lhs; rhs }
+
+let tccg_string t =
+  Printf.sprintf "%s-%s-%s"
+    (Index.list_to_string t.out.indices)
+    (Index.list_to_string t.lhs.indices)
+    (Index.list_to_string t.rhs.indices)
+
+let pp_ref fmt r =
+  Format.fprintf fmt "%s[%a]" r.name
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+       Index.pp)
+    r.indices
+
+let pp fmt t =
+  Format.fprintf fmt "%a = %a * %a" pp_ref t.out pp_ref t.lhs pp_ref t.rhs
+
+let equal a b =
+  let eq_ref x y = List.length x.indices = List.length y.indices
+    && List.for_all2 Index.equal x.indices y.indices
+  in
+  eq_ref a.out b.out && eq_ref a.lhs b.lhs && eq_ref a.rhs b.rhs

@@ -1,0 +1,26 @@
+(** Abstract syntax of a binary tensor contraction
+    [C\[...\] = A\[...\] * B\[...\]].
+
+    Index lists are in layout order, FVI first — the same order they are
+    written in both supported concrete syntaxes. *)
+
+open Tc_tensor
+
+type tensor_ref = { name : string; indices : Index.t list }
+
+type t = {
+  out : tensor_ref;  (** the output tensor [C] *)
+  lhs : tensor_ref;  (** the left input [A] *)
+  rhs : tensor_ref;  (** the right input [B] *)
+}
+
+val make : out:tensor_ref -> lhs:tensor_ref -> rhs:tensor_ref -> t
+
+val tccg_string : t -> string
+(** Compact TCCG form, e.g. ["abcd-aebf-dfce"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Einstein form, e.g. [C\[a,b,c,d\] = A\[a,e,b,f\] * B\[d,f,c,e\]]. *)
+
+val equal : t -> t -> bool
+(** Structural equality on index lists (tensor names ignored). *)

@@ -1,0 +1,114 @@
+open Tc_tensor
+
+type group = {
+  representative : Index.t;
+  members : Index.t list;
+  extent : int;
+}
+
+let pp_group fmt g =
+  Format.fprintf fmt "%c := %s (extent %d)" g.representative
+    (Index.list_to_string g.members)
+    g.extent
+
+(* Tensors (as 0=out, 1=lhs, 2=rhs flags) containing an index, and the
+   original ref lists of the expression as written. *)
+let refs problem =
+  let info = Problem.info problem in
+  let orig = info.Classify.original in
+  [ orig.Ast.out; orig.Ast.lhs; orig.Ast.rhs ]
+
+let membership problem i =
+  List.map (fun (r : Ast.tensor_ref) -> List.exists (Index.equal i) r.indices)
+    (refs problem)
+
+(* j immediately follows i (i is faster) in a layout. *)
+let adjacent_in indices i j =
+  let rec go = function
+    | x :: (y :: _ as rest) ->
+        (Index.equal x i && Index.equal y j) || go rest
+    | _ -> false
+  in
+  go indices
+
+let pair_fusable problem (i, j) =
+  membership problem i = membership problem j
+  && List.for_all2
+       (fun (r : Ast.tensor_ref) present ->
+         (not present) || adjacent_in r.indices i j)
+       (refs problem)
+       (membership problem i)
+
+let fusable_pairs problem =
+  let info = Problem.info problem in
+  let all = Classify.all_indices info in
+  List.filter_map
+    (fun i ->
+      List.find_map
+        (fun j ->
+          if (not (Index.equal i j)) && pair_fusable problem (i, j) then
+            Some (i, j)
+          else None)
+        all)
+    all
+
+let fuse_pair problem (i, j) =
+  if not (pair_fusable problem (i, j)) then
+    Error (Printf.sprintf "indices %c and %c are not fusable" i j)
+  else begin
+    let drop_j indices =
+      List.filter (fun x -> not (Index.equal x j)) indices
+    in
+    let rewrite (r : Ast.tensor_ref) = { r with Ast.indices = drop_j r.indices } in
+    let orig = (Problem.info problem).Classify.original in
+    let ast =
+      Ast.make ~out:(rewrite orig.Ast.out) ~lhs:(rewrite orig.Ast.lhs)
+        ~rhs:(rewrite orig.Ast.rhs)
+    in
+    let sizes =
+      Problem.sizes problem |> Index.Map.remove j
+      |> Index.Map.add i (Problem.extent problem i * Problem.extent problem j)
+    in
+    Problem.make ast sizes
+  end
+
+let fuse_all problem =
+  let absorbed = Hashtbl.create 4 in
+  (* representative -> absorbed members, in order *)
+  let record i j =
+    let prior = Option.value ~default:[] (Hashtbl.find_opt absorbed i) in
+    let j_members =
+      match Hashtbl.find_opt absorbed j with
+      | Some l ->
+          Hashtbl.remove absorbed j;
+          j :: l
+      | None -> [ j ]
+    in
+    Hashtbl.replace absorbed i (prior @ j_members)
+  in
+  let rec go problem =
+    match fusable_pairs problem with
+    | [] -> problem
+    | (i, j) :: _ -> (
+        match fuse_pair problem (i, j) with
+        | Ok fused ->
+            record i j;
+            go fused
+        | Error _ -> problem)
+  in
+  let fused = go problem in
+  let groups =
+    Hashtbl.fold
+      (fun representative members acc ->
+        {
+          representative;
+          members = representative :: members;
+          extent = Problem.extent fused representative;
+        }
+        :: acc)
+      absorbed []
+    |> List.sort (fun a b -> Index.compare a.representative b.representative)
+  in
+  (fused, groups)
+
+let is_identity groups = groups = []

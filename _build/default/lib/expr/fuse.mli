@@ -1,0 +1,38 @@
+(** Dimension fusion (index merging).
+
+    §IV of the paper notes that {e merging dimensions} "helps to achieve
+    coalescing if the extent of each dimension is very small".  Two indices
+    can be merged exactly when they appear in the same two tensors and are
+    adjacent — faster one first — in both: then treating them as a single
+    index of the product extent is a pure relabeling of the same memory
+    (no data movement), and the code generator sees one index with a
+    usefully large extent instead of two tiny ones. *)
+
+open Tc_tensor
+
+type group = {
+  representative : Index.t;  (** the surviving (fastest) index *)
+  members : Index.t list;  (** all fused indices, fastest first *)
+  extent : int;  (** product of the members' extents *)
+}
+
+val pp_group : Format.formatter -> group -> unit
+
+val fusable_pairs : Problem.t -> (Index.t * Index.t) list
+(** Pairs [(i, j)] such that [i] immediately precedes [j] in every tensor
+    containing either, and both live in the same two tensors.  Order of
+    pairs follows the output layout. *)
+
+val fuse_pair : Problem.t -> Index.t * Index.t -> (Problem.t, string) result
+(** Merge one pair: [j] disappears, [i]'s extent becomes [Ni * Nj].
+    [Error] if the pair is not fusable. *)
+
+val fuse_all : Problem.t -> Problem.t * group list
+(** Greedily merge until no fusable pair remains.  Returns the fused
+    problem and, for every surviving index that absorbed others, its
+    group.  The fused problem describes {e the same memory}: a tensor of
+    the original problem reinterpreted with the fused shape is bit-
+    identical. *)
+
+val is_identity : group list -> bool
+(** True when nothing was fused. *)

@@ -1,0 +1,39 @@
+(** A contraction together with its representative problem size — the unit of
+    work every planner, baseline and benchmark in this repository consumes. *)
+
+open Tc_tensor
+
+type t = private { info : Classify.info; sizes : Sizes.t }
+
+val make : Ast.t -> Sizes.t -> (t, string) result
+(** Validates the contraction ({!Classify.analyse}) and that [sizes] covers
+    every index. *)
+
+val make_exn : Ast.t -> Sizes.t -> t
+
+val of_string : string -> sizes:(Index.t * int) list -> (t, string) result
+(** Parses either concrete syntax, then behaves like {!make}. *)
+
+val of_string_exn : string -> sizes:(Index.t * int) list -> t
+
+val info : t -> Classify.info
+val sizes : t -> Sizes.t
+val extent : t -> Index.t -> int
+
+val flops : t -> float
+(** [2 * prod(extent of every index)] — the arithmetic work of the
+    contraction. *)
+
+val out_shape : t -> Shape.t
+(** Shape of the output tensor (original layout). *)
+
+val lhs_shape : t -> Shape.t
+(** Shape of the {e canonical} left input (after any lhs/rhs swap). *)
+
+val rhs_shape : t -> Shape.t
+
+val out_elems : t -> int
+val lhs_elems : t -> int
+val rhs_elems : t -> int
+
+val pp : Format.formatter -> t -> unit

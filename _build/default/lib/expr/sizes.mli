@@ -1,0 +1,29 @@
+(** Representative problem sizes: the extent of each index.
+
+    The code generator does not need exact problem sizes at compile time —
+    only representative ones used by the cost model to pick tile sizes and
+    mappings (§IV-B). *)
+
+open Tc_tensor
+
+type t = int Index.Map.t
+
+val of_list : (Index.t * int) list -> t
+(** @raise Invalid_argument on duplicates or non-positive extents. *)
+
+val uniform : Index.t list -> int -> t
+(** Every listed index gets the same extent. *)
+
+val parse : string -> (t, string) result
+(** Parses ["a=16,b=24,c=8"]; whitespace around tokens is ignored. *)
+
+val extent : t -> Index.t -> int
+(** @raise Not_found if the index has no extent. *)
+
+val extent_opt : t -> Index.t -> int option
+val covers : t -> Index.t list -> bool
+val product : t -> Index.t list -> int
+(** Product of the extents of the given indices (1 for the empty list). *)
+
+val to_list : t -> (Index.t * int) list
+val pp : Format.formatter -> t -> unit

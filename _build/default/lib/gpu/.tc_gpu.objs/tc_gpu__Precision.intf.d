@@ -1,0 +1,1 @@
+lib/gpu/precision.mli: Format

@@ -1,0 +1,52 @@
+(** GPU device models.
+
+    The two devices of the paper's evaluation are provided with their
+    published specifications; arbitrary devices can be described for
+    what-if studies.  All capacities are per-SM unless stated otherwise. *)
+
+type t = {
+  name : string;
+  sms : int;  (** number of streaming multiprocessors *)
+  cores_per_sm : int;
+  clock_ghz : float;
+  peak_gflops_fp64 : float;
+  peak_gflops_fp32 : float;
+  dram_bw_gbs : float;  (** peak DRAM bandwidth, GB/s *)
+  dram_gb : float;
+  smem_per_block : int;  (** shared-memory bytes usable by one thread block *)
+  smem_per_sm : int;
+  regs_per_sm : int;  (** 32-bit registers per SM *)
+  regs_per_thread_max : int;
+  max_threads_per_block : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  warp_size : int;
+  transaction_bytes : int;  (** DRAM transaction granularity (128 B) *)
+  kernel_launch_us : float;  (** fixed launch latency, microseconds *)
+  fma_issue_eff : float;
+      (** fraction of peak FMA issue a hand-scheduled inner loop sustains;
+          higher on Volta, whose separate INT32 pipe overlaps address
+          arithmetic with floating-point work *)
+  l2_bytes : int;  (** L2 cache capacity (0 disables the cache model) *)
+  l2_bw_ratio : float;
+      (** L2-to-DRAM bandwidth ratio: reloads served from L2 cost this much
+          less than DRAM traffic *)
+}
+
+val p100 : t
+(** Nvidia Tesla P100 (Pascal, SXM2): 56 SMs, 64 cores/SM. *)
+
+val v100 : t
+(** Nvidia Tesla V100 (Volta, SXM2): 80 SMs, 64 cores/SM. *)
+
+val a100 : t
+(** Nvidia A100 (Ampere, SXM4): 108 SMs — not part of the paper's
+    evaluation; included because the generator targets any device of
+    compute capability >= 6.0, and the newer device makes a useful
+    what-if. *)
+
+val by_name : string -> t option
+(** Case-insensitive lookup of ["p100"] / ["v100"] / ["a100"]. *)
+
+val peak_gflops : t -> Precision.t -> float
+val pp : Format.formatter -> t -> unit

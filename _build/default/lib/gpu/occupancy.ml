@@ -1,0 +1,87 @@
+type request = {
+  threads_per_block : int;
+  smem_per_block : int;
+  regs_per_thread : int;
+}
+
+type result = {
+  active_blocks_per_sm : int;
+  active_warps_per_sm : int;
+  occupancy : float;
+  limiter : limiter;
+}
+
+and limiter = Threads | Shared_memory | Registers | Blocks | Invalid
+
+let pp_limiter fmt l =
+  Format.pp_print_string fmt
+    (match l with
+    | Threads -> "threads"
+    | Shared_memory -> "shared memory"
+    | Registers -> "registers"
+    | Blocks -> "blocks"
+    | Invalid -> "invalid request")
+
+let invalid = {
+  active_blocks_per_sm = 0;
+  active_warps_per_sm = 0;
+  occupancy = 0.0;
+  limiter = Invalid;
+}
+
+let calculate (arch : Arch.t) req =
+  if
+    req.threads_per_block <= 0
+    || req.threads_per_block > arch.max_threads_per_block
+    || req.smem_per_block > arch.smem_per_block
+    || req.regs_per_thread > arch.regs_per_thread_max
+    || req.smem_per_block < 0 || req.regs_per_thread < 0
+  then invalid
+  else begin
+    (* Warps are allocated whole. *)
+    let warps_per_block =
+      (req.threads_per_block + arch.warp_size - 1) / arch.warp_size
+    in
+    let limit_threads =
+      arch.max_threads_per_sm / (warps_per_block * arch.warp_size)
+    in
+    let limit_smem =
+      if req.smem_per_block = 0 then arch.max_blocks_per_sm
+      else arch.smem_per_sm / req.smem_per_block
+    in
+    let limit_regs =
+      if req.regs_per_thread = 0 then arch.max_blocks_per_sm
+      else
+        arch.regs_per_sm
+        / (req.regs_per_thread * warps_per_block * arch.warp_size)
+    in
+    let limit_blocks = arch.max_blocks_per_sm in
+    let blocks =
+      List.fold_left min limit_threads [ limit_smem; limit_regs; limit_blocks ]
+    in
+    if blocks <= 0 then
+      (* A single block over-subscribes some resource. *)
+      let limiter =
+        if limit_regs <= 0 then Registers
+        else if limit_smem <= 0 then Shared_memory
+        else Threads
+      in
+      { invalid with limiter }
+    else
+      let limiter =
+        if blocks = limit_threads then Threads
+        else if blocks = limit_smem then Shared_memory
+        else if blocks = limit_regs then Registers
+        else Blocks
+      in
+      let active_warps = blocks * warps_per_block in
+      let max_warps = arch.max_threads_per_sm / arch.warp_size in
+      {
+        active_blocks_per_sm = blocks;
+        active_warps_per_sm = active_warps;
+        occupancy = float_of_int active_warps /. float_of_int max_warps;
+        limiter;
+      }
+  end
+
+let fits arch req = (calculate arch req).active_blocks_per_sm > 0

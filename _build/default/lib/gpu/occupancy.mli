@@ -1,0 +1,30 @@
+(** CUDA occupancy calculator.
+
+    Computes how many thread blocks of a given resource footprint can be
+    resident on one SM, and the resulting warp occupancy — the quantity the
+    paper's performance constraints (§IV-A2) guard. *)
+
+type request = {
+  threads_per_block : int;
+  smem_per_block : int;  (** bytes *)
+  regs_per_thread : int;
+}
+
+type result = {
+  active_blocks_per_sm : int;
+  active_warps_per_sm : int;
+  occupancy : float;  (** active warps / max warps, in [0, 1] *)
+  limiter : limiter;
+}
+
+and limiter = Threads | Shared_memory | Registers | Blocks | Invalid
+
+val pp_limiter : Format.formatter -> limiter -> unit
+
+val calculate : Arch.t -> request -> result
+(** [calculate arch req] never raises; a request that cannot fit at all
+    (e.g. more threads than [max_threads_per_block]) yields zero active
+    blocks with [limiter = Invalid]. *)
+
+val fits : Arch.t -> request -> bool
+(** True iff at least one block can be resident. *)

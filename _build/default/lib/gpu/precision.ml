@@ -1,0 +1,8 @@
+type t = FP32 | FP64
+
+let bytes = function FP32 -> 4 | FP64 -> 8
+let to_string = function FP32 -> "fp32" | FP64 -> "fp64"
+let cuda_type = function FP32 -> "float" | FP64 -> "double"
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b
+let elems_per_transaction t = 128 / bytes t

@@ -1,0 +1,16 @@
+(** Floating-point precisions the generated kernels can target.  The TCCG
+    comparison of Figs. 4–5 uses double precision; the Tensor-Comprehensions
+    comparison of Figs. 6–8 uses single precision. *)
+
+type t = FP32 | FP64
+
+val bytes : t -> int
+val to_string : t -> string
+val cuda_type : t -> string
+(** The C scalar type emitted in kernels: ["float"] or ["double"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val elems_per_transaction : t -> int
+(** Elements per 128-byte DRAM transaction: 32 for FP32, 16 for FP64. *)

@@ -1,0 +1,1 @@
+lib/nwchem/nwgen.ml: Arch Classify Cogent Enumerate Index List Mapping Occupancy Plan Precision Problem Prune Tc_expr Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+lib/nwchem/nwgen.mli: Arch Cogent Precision Problem Tc_expr Tc_gpu

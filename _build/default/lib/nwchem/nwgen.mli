@@ -1,0 +1,28 @@
+(** NWChem-style fixed-heuristic kernel generator (baseline).
+
+    Models the code generator used to synthesize the CCSD(T) GPU kernels in
+    the production NWChem suite (Ma et al.): a direct contraction with the
+    same staging schema as COGENT but a {e fixed} configuration recipe
+    instead of model-driven search —
+
+    - thread block packed toward 16x16 (output FVI on X, rhs FVI on Y),
+      taking indices in layout order with no rotation search;
+    - a fixed 4x4 register tile from the next available external on each
+      side;
+    - contraction indices packed toward a serial depth of 16;
+    - no cost-model ranking; if the fixed recipe violates a hardware limit,
+      targets are halved until it fits.
+
+    The performance gap to COGENT on the TCCG suite isolates the value of
+    the paper's model-driven tile/mapping selection (§V). *)
+
+open Tc_gpu
+open Tc_expr
+
+val mapping : Problem.t -> Cogent.Mapping.t
+(** The fixed-recipe configuration (before hardware fitting). *)
+
+val plan :
+  ?arch:Arch.t -> ?precision:Precision.t -> Problem.t -> Cogent.Plan.t
+(** Fixed-recipe plan, with targets halved as needed to satisfy hardware
+    constraints.  Defaults: V100, FP64. *)

@@ -1,0 +1,1 @@
+lib/sim/simkernel.ml: Arch Ast Classify Cogent Cost Float Format Index List Mapping Occupancy Plan Precision Problem Tc_expr Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+lib/sim/simkernel.mli: Cogent Format Tc_expr Tc_gpu

@@ -1,0 +1,295 @@
+open Tc_tensor
+open Tc_gpu
+open Tc_expr
+open Cogent
+
+type bound = Memory | Compute | Latency
+
+let pp_bound fmt b =
+  Format.pp_print_string fmt
+    (match b with
+    | Memory -> "memory-bound"
+    | Compute -> "compute-bound"
+    | Latency -> "latency-bound")
+
+type result = {
+  time_s : float;
+  gflops : float;
+  transactions : float;
+  bytes : float;
+  mem_time_s : float;
+  compute_time_s : float;
+  occupancy : float;
+  concurrency : float;
+  bound : bound;
+}
+
+(* ---- calibration constants (see EXPERIMENTS.md) ---- *)
+
+(* Fraction of peak DRAM bandwidth a fully coalesced streaming kernel
+   achieves. *)
+let mem_base_eff = 0.82
+
+(* Occupancy needed to saturate DRAM bandwidth / the FP pipelines. *)
+let mem_sat_occupancy = 0.20
+let comp_sat_occupancy = 0.15
+
+(* Per-iteration loop overhead (instructions) charged to the inner
+   outer-product sweep, on top of FMAs and SMEM loads. *)
+let loop_overhead = 2.0
+
+
+(* ---- exact transaction counting ---- *)
+
+let ceil_div a b = (a + b - 1) / b
+
+(* One axis of a staged tile: [full] full tiles of size [tile] along the
+   axis plus, when [rem > 0], one boundary tile of [rem] elements. *)
+type axis = { tile : int; extent : int; full : int; rem : int }
+
+let axis_of problem mapping i =
+  let tile = Mapping.tile_of mapping i in
+  let extent = Problem.extent problem i in
+  { tile; extent; full = extent / tile; rem = extent mod tile }
+
+(* Transactions for one cooperative sweep over [elems] elements that are
+   grouped in contiguous global-memory runs of [run] elements, executed by
+   rows of [width] threads: per row, width/run segments each costing
+   ceil(run/ept) transactions. *)
+let sweep ~width ~elems ~run ~ept =
+  if elems <= 0 then 0.0
+  else
+    let width = min width elems in
+    let rows = ceil_div elems width in
+    let run = max 1 (min run width) in
+    let segments = ceil_div width run in
+    float_of_int (rows * segments * ceil_div run ept)
+
+(* Enumerate the full/partial boundary patterns of a tiled axis list.  Each
+   pattern carries the number of tile instances with that shape and the
+   effective (cut) tile per axis, preserving axis order and a caller-chosen
+   tag. *)
+let patterns axes =
+  let rec go = function
+    | [] -> [ (1.0, []) ]
+    | (ax, tag) :: rest ->
+        let tails = go rest in
+        List.concat_map
+          (fun (cnt, tiles) ->
+            let full =
+              if ax.full > 0 then
+                [
+                  ( cnt *. float_of_int ax.full,
+                    (ax.tile, ax.extent, tag) :: tiles );
+                ]
+              else []
+            in
+            let partial =
+              if ax.rem > 0 then
+                [ (cnt, (ax.rem, ax.extent, tag) :: tiles) ]
+              else []
+            in
+            full @ partial)
+          tails
+  in
+  go axes
+
+(* Contiguous-run length of a cut tile in layout order: the run extends
+   across an axis only when the tile covers the full extent. *)
+let run_of_tiles tiles =
+  let rec go acc = function
+    | [] -> acc
+    | (t, n) :: rest -> if t = n then go (acc * t) rest else acc * t
+  in
+  go 1 tiles
+
+(* Transactions to load every staged instance of one input tensor: the
+   boundary-pattern enumeration over the tensor's own axes yields exactly
+   one term per distinct (block-slice, step) instance; blocks that differ
+   only in external indices foreign to this tensor re-load the same slab. *)
+let load_transactions ~ept ~width problem mapping indices =
+  let axes = List.map (fun i -> (axis_of problem mapping i, ())) indices in
+  List.fold_left
+    (fun acc (cnt, tiles) ->
+      let elems = List.fold_left (fun a (t, _, ()) -> a * t) 1 tiles in
+      let run = run_of_tiles (List.map (fun (t, n, ()) -> (t, n)) tiles) in
+      acc +. (cnt *. sweep ~width ~elems ~run ~ept))
+    0.0 (patterns axes)
+
+type ext_dim = Dtbx | Dtby | Dregx | Dregy | Dgrid
+
+(* Transactions to store the output: one guarded sweep of the in-range part
+   of the TBx*TBy thread grid per in-range register coordinate; within a
+   sweep only thread-mapped (TBx/TBy) coordinates vary, and memory
+   contiguity follows the TBx-mapped prefix of the output layout. *)
+let store_transactions ~ept problem mapping =
+  let info = Problem.info problem in
+  let dim_of i =
+    let mem l = List.exists (fun b -> Index.equal b.Mapping.index i) l in
+    if mem mapping.Mapping.tbx then Dtbx
+    else if mem mapping.Mapping.tby then Dtby
+    else if mem mapping.Mapping.regx then Dregx
+    else if mem mapping.Mapping.regy then Dregy
+    else Dgrid
+  in
+  let axes =
+    List.map
+      (fun i -> (axis_of problem mapping i, dim_of i))
+      info.Classify.externals
+  in
+  List.fold_left
+    (fun acc (cnt, tiles) ->
+      let prod dims =
+        List.fold_left
+          (fun a (t, _, d) -> if List.mem d dims then a * t else a)
+          1 tiles
+      in
+      let elems = prod [ Dtbx; Dtby ] in
+      let sweeps = prod [ Dregx; Dregy ] in
+      let run =
+        run_of_tiles
+          (List.filter_map
+             (fun (t, n, d) -> if d = Dtbx then Some (t, n) else None)
+             tiles)
+      in
+      acc
+      +. cnt *. float_of_int sweeps *. sweep ~width:elems ~elems ~run ~ept)
+    0.0 (patterns axes)
+
+(* DRAM-equivalent transactions for one input tensor: when the whole
+   tensor fits comfortably in L2, only the first pass is served by DRAM
+   and subsequent reloads stream from L2 at [l2_bw_ratio] times the DRAM
+   rate. *)
+let dram_equivalent (arch : Arch.t) prec problem indices trans =
+  if arch.Arch.l2_bytes = 0 then trans
+  else
+    let bytes =
+      float_of_int
+        (List.fold_left (fun acc i -> acc * Problem.extent problem i) 1 indices
+        * Precision.bytes prec)
+    in
+    if bytes > 0.8 *. float_of_int arch.Arch.l2_bytes then trans
+    else
+      let cold = bytes /. float_of_int arch.Arch.transaction_bytes in
+      if trans <= cold then trans
+      else cold +. ((trans -. cold) /. arch.Arch.l2_bw_ratio)
+
+let transactions_exact ?arch prec problem mapping =
+  let ept = Precision.elems_per_transaction prec in
+  let info = Problem.info problem in
+  let width = Mapping.threads_per_block mapping in
+  let foreign_blocks indices =
+    List.fold_left
+      (fun acc i ->
+        if List.exists (Index.equal i) indices then acc
+        else
+          acc * ceil_div (Problem.extent problem i) (Mapping.tile_of mapping i))
+      1 info.Classify.externals
+  in
+  let lhs_idx = info.Classify.expr.Ast.lhs.Ast.indices in
+  let rhs_idx = info.Classify.expr.Ast.rhs.Ast.indices in
+  let lhs =
+    load_transactions ~ept ~width problem mapping lhs_idx
+    *. float_of_int (foreign_blocks lhs_idx)
+  in
+  let rhs =
+    load_transactions ~ept ~width problem mapping rhs_idx
+    *. float_of_int (foreign_blocks rhs_idx)
+  in
+  let out = store_transactions ~ept problem mapping in
+  match arch with
+  | None -> { Cost.lhs; rhs; out }
+  | Some a ->
+      {
+        Cost.lhs = dram_equivalent a prec problem lhs_idx lhs;
+        rhs = dram_equivalent a prec problem rhs_idx rhs;
+        out;
+      }
+
+(* ---- timing ---- *)
+
+let run (plan : Plan.t) =
+  let arch = plan.Plan.arch in
+  let prec = plan.Plan.precision in
+  let problem = plan.Plan.problem in
+  let mapping = plan.Plan.mapping in
+  let tx = transactions_exact ~arch prec problem mapping in
+  let transactions = tx.Cost.lhs +. tx.Cost.rhs +. tx.Cost.out in
+  let bytes = transactions *. float_of_int arch.Arch.transaction_bytes in
+  let occ_result = Plan.occupancy plan in
+  let occ = occ_result.Occupancy.occupancy in
+  let blocks = Plan.num_blocks plan in
+  let act = max 1 occ_result.Occupancy.active_blocks_per_sm in
+  let concurrency =
+    min 1.0 (float_of_int blocks /. float_of_int (act * arch.Arch.sms))
+  in
+  if occ <= 0.0 || Plan.regs_per_thread plan > arch.Arch.regs_per_thread_max
+  then
+    {
+      time_s = infinity;
+      gflops = 0.0;
+      transactions;
+      bytes;
+      mem_time_s = infinity;
+      compute_time_s = infinity;
+      occupancy = 0.0;
+      concurrency;
+      bound = Latency;
+    }
+  else begin
+    (* Blocks smaller than a warp waste lanes on every access and issue. *)
+    let warp_eff =
+      min 1.0
+        (float_of_int (Plan.threads_per_block plan)
+        /. float_of_int arch.Arch.warp_size)
+    in
+    let mem_eff =
+      mem_base_eff *. min 1.0 (occ /. mem_sat_occupancy) *. concurrency
+      *. warp_eff
+    in
+    let mem_time = bytes /. (arch.Arch.dram_bw_gbs *. 1e9 *. mem_eff) in
+    (* Padded compute: every block runs its full loop structure. *)
+    let rx = float_of_int (Mapping.size_regx mapping) in
+    let ry = float_of_int (Mapping.size_regy mapping) in
+    let padded_flops =
+      2.0
+      *. float_of_int (Plan.threads_per_block plan)
+      *. rx *. ry
+      *. float_of_int (Mapping.size_tbk mapping)
+      *. float_of_int (Plan.num_steps plan)
+      *. float_of_int blocks
+    in
+    (* Vectorized (128-bit) SMEM loads feed the outer product, so register
+       staging charges (rx+ry)/2 issue slots against rx*ry FMAs. *)
+    let ilp_eff =
+      rx *. ry /. ((rx *. ry) +. ((rx +. ry) /. 2.0) +. loop_overhead)
+    in
+    let comp_eff =
+      arch.Arch.fma_issue_eff *. ilp_eff
+      *. min 1.0 (occ /. comp_sat_occupancy)
+      *. concurrency *. warp_eff
+    in
+    let peak = Arch.peak_gflops arch prec *. 1e9 in
+    let compute_time = padded_flops /. (peak *. comp_eff) in
+    let launch = arch.Arch.kernel_launch_us *. 1e-6 in
+    let body = Float.max mem_time compute_time in
+    let time = body +. launch in
+    let bound =
+      if launch > body then Latency
+      else if mem_time >= compute_time then Memory
+      else Compute
+    in
+    {
+      time_s = time;
+      gflops = Problem.flops problem /. time /. 1e9;
+      transactions;
+      bytes;
+      mem_time_s = mem_time;
+      compute_time_s = compute_time;
+      occupancy = occ;
+      concurrency;
+      bound;
+    }
+  end
+
+let gflops plan = (run plan).gflops

@@ -1,0 +1,49 @@
+(** Analytical execution simulator for generated kernels.
+
+    Stands in for running the emitted CUDA on real P100/V100 hardware (see
+    DESIGN.md, substitutions).  Unlike the Algorithm-3 cost model — which
+    deliberately stays coarse because it has to rank millions of
+    configurations — the simulator "measures" a single plan in more detail:
+
+    - exact DRAM transaction counts including boundary (partial) tiles and
+      transaction granularity per tensor;
+    - occupancy-derated achievable bandwidth and a low-concurrency penalty
+      when the grid cannot fill the device;
+    - an instruction-mix ceiling on compute throughput (outer-product FMAs
+      vs shared-memory loads and loop overhead), with padded-tile compute
+      counted in full as real kernels do;
+    - a roofline combination plus kernel launch latency.
+
+    The absolute constants are calibrated against the GFLOPS ranges
+    published in the paper (see EXPERIMENTS.md); relative behaviour between
+    configurations emerges from the traffic and occupancy math. *)
+
+type bound = Memory | Compute | Latency
+
+val pp_bound : Format.formatter -> bound -> unit
+
+type result = {
+  time_s : float;
+  gflops : float;
+  transactions : float;  (** simulated DRAM transactions (in-range) *)
+  bytes : float;
+  mem_time_s : float;
+  compute_time_s : float;
+  occupancy : float;
+  concurrency : float;  (** fraction of the device the grid can fill *)
+  bound : bound;
+}
+
+val run : Cogent.Plan.t -> result
+(** Simulate one kernel execution of the plan at its problem's
+    representative size. *)
+
+val gflops : Cogent.Plan.t -> float
+
+val transactions_exact :
+  ?arch:Tc_gpu.Arch.t -> Tc_gpu.Precision.t -> Tc_expr.Problem.t
+  -> Cogent.Mapping.t -> Cogent.Cost.breakdown
+(** Boundary-exact transaction counts (the simulator's memory model),
+    exposed for validation against the Algorithm-3 estimates.  When [arch]
+    is given, input-tensor reloads that fit in its L2 are discounted to
+    their DRAM-equivalent cost. *)

@@ -1,0 +1,1 @@
+lib/tccg/suite.ml: Char Float Format List Printf Problem Tc_expr

@@ -1,0 +1,1 @@
+lib/tccg/suite.mli: Format Problem Tc_expr

@@ -1,0 +1,1 @@
+lib/tensor/contract_ref.ml: Dense Index List Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/contract_ref.mli: Dense Index

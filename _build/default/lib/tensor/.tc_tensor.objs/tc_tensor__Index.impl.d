@@ -1,0 +1,1 @@
+lib/tensor/index.ml: Char Format List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/tensor/index.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/tensor/matmul.ml: Array Dense Index Shape

@@ -1,0 +1,1 @@
+lib/tensor/matmul.mli: Dense

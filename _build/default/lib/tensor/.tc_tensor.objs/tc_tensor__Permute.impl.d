@@ -1,0 +1,1 @@
+lib/tensor/permute.ml: Array Dense Index List Printf Shape

@@ -1,0 +1,1 @@
+lib/tensor/permute.mli: Dense Index

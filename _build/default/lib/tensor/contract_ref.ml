@@ -1,0 +1,56 @@
+let analyse ~out_indices a b =
+  let sa = Dense.shape a and sb = Dense.shape b in
+  let ia = Index.Set.of_list (Shape.indices sa)
+  and ib = Index.Set.of_list (Shape.indices sb)
+  and ic = Index.Set.of_list out_indices in
+  if not (Index.distinct out_indices) then
+    invalid_arg "Contract_ref: duplicate output index";
+  let internals = Index.Set.inter ia ib in
+  if not (Index.Set.is_empty (Index.Set.inter internals ic)) then
+    invalid_arg "Contract_ref: a contraction index appears in the output";
+  let externals = Index.Set.union (Index.Set.diff ia ib) (Index.Set.diff ib ia) in
+  if not (Index.Set.equal externals ic) then
+    invalid_arg
+      "Contract_ref: output indices must be exactly the non-shared input \
+       indices";
+  Index.Set.iter
+    (fun i ->
+      if Shape.extent sa i <> Shape.extent sb i then
+        invalid_arg
+          (Printf.sprintf "Contract_ref: extent mismatch on index %c" i))
+    internals;
+  let extent i =
+    if Shape.mem sa i then Shape.extent sa i else Shape.extent sb i
+  in
+  (Index.Set.elements internals, extent)
+
+let contract ~out_indices a b =
+  let internals, extent = analyse ~out_indices a b in
+  let out_shape = Shape.make (List.map (fun i -> (i, extent i)) out_indices) in
+  let out = Dense.create out_shape in
+  (* Odometer over external positions; inner odometer over internals. *)
+  let rec loop_ext env = function
+    | [] ->
+        let acc = ref 0.0 in
+        let rec loop_int env = function
+          | [] ->
+              acc := !acc +. (Dense.get_named a env *. Dense.get_named b env)
+          | i :: rest ->
+              for v = 0 to extent i - 1 do
+                loop_int (Index.Map.add i v env) rest
+              done
+        in
+        loop_int env internals;
+        Dense.set_named out env !acc
+    | i :: rest ->
+        for v = 0 to extent i - 1 do
+          loop_ext (Index.Map.add i v env) rest
+        done
+  in
+  loop_ext Index.Map.empty out_indices;
+  out
+
+let flop_count ~out_indices a b =
+  let internals, extent = analyse ~out_indices a b in
+  let all = out_indices @ internals in
+  2 * List.fold_left (fun acc i -> acc * extent i) 1 all

@@ -1,0 +1,22 @@
+(** Reference (nested-loop) tensor contraction.
+
+    [C\[ext\] = sum over internals of A * B] computed directly from the named
+    shapes, with no tiling or staging.  Slow, but obviously correct: this is
+    the oracle every optimized execution path is validated against. *)
+
+val contract :
+  out_indices:Index.t list -> Dense.t -> Dense.t -> Dense.t
+(** [contract ~out_indices a b] contracts [a] and [b] over every index they
+    share, producing a tensor laid out in [out_indices] order.
+
+    Following the Einstein convention of the paper, an index appearing in
+    both inputs is a contraction (internal) index and must not appear in
+    [out_indices]; every other input index must appear in [out_indices]
+    exactly once.
+    @raise Invalid_argument if the index structure is not a valid
+    contraction (an index in all three or only one of the tensors, extent
+    mismatch between the operands, duplicates). *)
+
+val flop_count : out_indices:Index.t list -> Dense.t -> Dense.t -> int
+(** Number of floating-point operations (2 per multiply-add) the contraction
+    performs: [2 * prod(extents of all distinct indices)]. *)

@@ -1,0 +1,37 @@
+(** Tensor index names.
+
+    An index is a single lower-case letter, as in the Einstein-convention
+    contraction [C\[a,b,c,d\] = A\[a,e,b,f\] * B\[d,f,c,e\]] or the TCCG
+    string form [abcd-aebf-dfce].  Throughout this code base, index lists are
+    ordered with the {e fastest-varying index (FVI) first}, matching the
+    layout convention of the paper (for [A\[a,e,b,f\]], index [a] is
+    contiguous in memory). *)
+
+type t = char
+
+val is_valid : t -> bool
+(** [is_valid i] is true iff [i] is in [a..z]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_char : char -> t
+(** [of_char c] validates [c].
+    @raise Invalid_argument if [c] is not in [a..z]. *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val list_pp : Format.formatter -> t list -> unit
+(** Prints an index list in compact TCCG form, e.g. [abcd]. *)
+
+val list_of_string : string -> t list
+(** [list_of_string "aebf"] is [\['a';'e';'b';'f'\]].
+    @raise Invalid_argument on any character outside [a..z]. *)
+
+val list_to_string : t list -> string
+
+val distinct : t list -> bool
+(** [distinct l] is true iff no index occurs twice in [l]. *)

@@ -1,0 +1,61 @@
+type t = (Index.t * int) list
+
+let make l =
+  if not (Index.distinct (List.map fst l)) then
+    invalid_arg "Shape.make: duplicate index";
+  List.iter
+    (fun (i, n) ->
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf "Shape.make: extent of %c must be positive, got %d" i
+             n))
+    l;
+  l
+
+let of_indices ~sizes l =
+  let extent_of i =
+    match Index.Map.find_opt i sizes with
+    | Some n -> (i, n)
+    | None ->
+        invalid_arg (Printf.sprintf "Shape.of_indices: no extent for %c" i)
+  in
+  make (List.map extent_of l)
+
+let indices t = List.map fst t
+let extents t = List.map snd t
+let rank = List.length
+let extent t i = List.assoc i t
+let mem t i = List.mem_assoc i t
+
+let position t i =
+  let rec go k = function
+    | [] -> raise Not_found
+    | (j, _) :: rest -> if Index.equal i j then k else go (k + 1) rest
+  in
+  go 0 t
+
+let numel t = List.fold_left (fun acc (_, n) -> acc * n) 1 t
+
+let stride t i =
+  let rec go acc = function
+    | [] -> raise Not_found
+    | (j, n) :: rest -> if Index.equal i j then acc else go (acc * n) rest
+  in
+  go 1 t
+
+let fvi = function
+  | [] -> invalid_arg "Shape.fvi: empty shape"
+  | (i, _) :: _ -> i
+
+let to_list t = t
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (i, n) (j, m) -> Index.equal i j && n = m) a b
+
+let pp fmt t =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+       (fun fmt (i, n) -> Format.fprintf fmt "%c=%d" i n))
+    t

@@ -1,0 +1,41 @@
+(** Named tensor shapes: an ordered list of (index, extent) pairs.
+
+    The first index is the fastest-varying one (FVI).  A shape both names the
+    dimensions of a tensor and fixes its memory layout. *)
+
+type t
+
+val make : (Index.t * int) list -> t
+(** @raise Invalid_argument on duplicate indices or non-positive extents. *)
+
+val of_indices : sizes:int Index.Map.t -> Index.t list -> t
+(** [of_indices ~sizes l] pairs each index of [l] with its extent in [sizes].
+    @raise Invalid_argument if an index of [l] has no extent in [sizes]. *)
+
+val indices : t -> Index.t list
+(** Indices in layout order, FVI first. *)
+
+val extents : t -> int list
+val rank : t -> int
+
+val extent : t -> Index.t -> int
+(** @raise Not_found if the index is not part of the shape. *)
+
+val mem : t -> Index.t -> bool
+
+val position : t -> Index.t -> int
+(** Position of an index in layout order (FVI has position 0).
+    @raise Not_found if absent. *)
+
+val numel : t -> int
+(** Total number of elements, i.e. the product of all extents. *)
+
+val stride : t -> Index.t -> int
+(** Linear stride of an index in the canonical (FVI-first) layout. *)
+
+val fvi : t -> Index.t
+(** The fastest-varying index. @raise Invalid_argument on the empty shape. *)
+
+val to_list : t -> (Index.t * int) list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

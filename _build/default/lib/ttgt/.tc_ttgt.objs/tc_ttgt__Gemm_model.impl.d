@@ -1,0 +1,1 @@
+lib/ttgt/gemm_model.ml: Arch Float Precision Tc_gpu

@@ -1,0 +1,1 @@
+lib/ttgt/gemm_model.mli: Arch Precision Tc_gpu

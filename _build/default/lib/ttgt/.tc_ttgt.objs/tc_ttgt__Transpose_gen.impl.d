@@ -1,0 +1,1 @@
+lib/ttgt/transpose_gen.ml: Buffer Index List Precision Printf String Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+lib/ttgt/transpose_gen.mli: Index Precision Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+lib/ttgt/transpose_model.ml: Arch Float Index List Precision Printf Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+lib/ttgt/transpose_model.mli: Arch Index Precision Tc_gpu Tc_tensor

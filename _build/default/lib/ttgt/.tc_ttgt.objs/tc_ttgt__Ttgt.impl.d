@@ -1,0 +1,1 @@
+lib/ttgt/ttgt.ml: Arch Ast Buffer Classify Dense Gemm_model Index List Matmul Permute Precision Printf Problem Shape Sizes Tc_expr Tc_gpu Tc_tensor Transpose_gen Transpose_model

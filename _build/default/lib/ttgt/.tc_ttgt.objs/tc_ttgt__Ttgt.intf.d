@@ -1,0 +1,1 @@
+lib/ttgt/ttgt.mli: Arch Dense Gemm_model Index Precision Problem Tc_expr Tc_gpu Tc_tensor

@@ -1,0 +1,165 @@
+open Tc_tensor
+open Tc_gpu
+
+let tile = 32
+let block_rows = 8
+
+let bpf = Printf.bprintf
+
+let check_permutation ~src ~dst =
+  if
+    not
+      (List.length src = List.length dst
+      && Index.Set.equal (Index.Set.of_list src) (Index.Set.of_list dst))
+  then
+    invalid_arg
+      (Printf.sprintf "Transpose_gen: %s is not a permutation of %s"
+         (Index.list_to_string dst) (Index.list_to_string src))
+
+let kernel_name ~src ~dst =
+  Printf.sprintf "transpose_%s_to_%s" (Index.list_to_string src)
+    (Index.list_to_string dst)
+
+let uses_tiled_schema ~src ~dst =
+  check_permutation ~src ~dst;
+  not (Index.equal (List.hd src) (List.hd dst))
+
+(* Runtime strides of a layout, named [prefix_<i>]. *)
+let emit_strides buf ~prefix indices =
+  let rec go expr = function
+    | [] -> ()
+    | i :: rest ->
+        bpf buf "  const long long %s_%c = %s;\n" prefix i expr;
+        go (Printf.sprintf "%s_%c * N_%c" prefix i i) rest
+  in
+  go "1LL" indices
+
+let signature buf name scalar indices =
+  bpf buf "extern \"C\" __global__ void %s(\n" name;
+  bpf buf "    %s* __restrict__ g_dst,\n" scalar;
+  bpf buf "    const %s* __restrict__ g_src" scalar;
+  List.iter (fun i -> bpf buf ",\n    const int N_%c" i) indices;
+  bpf buf ")\n{\n"
+
+(* FVI preserved: one guarded grid-stride loop in destination order; both
+   sides stream along the shared fastest index. *)
+let emit_packed buf name scalar ~src ~dst =
+  signature buf name scalar src;
+  emit_strides buf ~prefix:"sS" src;
+  bpf buf "  long long total = 1;\n";
+  List.iter (fun i -> bpf buf "  total *= N_%c;\n" i) src;
+  bpf buf
+    "  for (long long l = (long long)blockIdx.x * blockDim.x + threadIdx.x;\n\
+    \       l < total; l += (long long)gridDim.x * blockDim.x) {\n";
+  bpf buf "    long long r = l;\n";
+  let n = List.length dst in
+  List.iteri
+    (fun k i ->
+      if k = n - 1 then bpf buf "    const int c_%c = (int)r;\n" i
+      else begin
+        bpf buf "    const int c_%c = (int)(r %% N_%c);\n" i i;
+        bpf buf "    r /= N_%c;\n" i
+      end)
+    dst;
+  bpf buf "    g_dst[l] = g_src[%s];\n"
+    (String.concat " + "
+       (List.map (fun i -> Printf.sprintf "c_%c * sS_%c" i i) src));
+  bpf buf "  }\n}\n"
+
+(* FVI changes: shared-memory tile over the (src FVI, dst FVI) plane,
+   padded against bank conflicts; other axes come from the block index. *)
+let emit_tiled buf name scalar ~src ~dst =
+  let i = List.hd src and j = List.hd dst in
+  let rest = List.filter (fun x -> not (Index.equal x i || Index.equal x j)) src in
+  signature buf name scalar src;
+  emit_strides buf ~prefix:"sS" src;
+  emit_strides buf ~prefix:"sD" dst;
+  bpf buf "  const int nb_%c = (N_%c + %d - 1) / %d;\n" i i tile tile;
+  bpf buf "  const int nb_%c = (N_%c + %d - 1) / %d;\n" j j tile tile;
+  bpf buf "  long long brem = blockIdx.x;\n";
+  bpf buf "  const int base_%c = (int)(brem %% nb_%c) * %d;\n" i i tile;
+  bpf buf "  brem /= nb_%c;\n" i;
+  bpf buf "  const int base_%c = (int)(brem %% nb_%c) * %d;\n" j j tile;
+  bpf buf "  brem /= nb_%c;\n" j;
+  let n_rest = List.length rest in
+  List.iteri
+    (fun k x ->
+      if k = n_rest - 1 then bpf buf "  const int c_%c = (int)brem;\n" x
+      else begin
+        bpf buf "  const int c_%c = (int)(brem %% N_%c);\n" x x;
+        bpf buf "  brem /= N_%c;\n" x
+      end)
+    rest;
+  let rest_sum prefix =
+    if rest = [] then "0"
+    else
+      String.concat " + "
+        (List.map (fun x -> Printf.sprintf "c_%c * %s_%c" x prefix x) rest)
+  in
+  bpf buf "  const long long rest_src = %s;\n" (rest_sum "sS");
+  bpf buf "  const long long rest_dst = %s;\n" (rest_sum "sD");
+  bpf buf "  __shared__ %s tile_s[%d][%d];\n" scalar tile (tile + 1);
+  bpf buf "  const int tx = threadIdx.x, ty = threadIdx.y;\n";
+  bpf buf "  for (int y = ty; y < %d; y += %d) {\n" tile block_rows;
+  bpf buf "    if (base_%c + tx < N_%c && base_%c + y < N_%c)\n" i i j j;
+  bpf buf
+    "      tile_s[y][tx] = g_src[(long long)(base_%c + tx) * sS_%c + (long \
+     long)(base_%c + y) * sS_%c + rest_src];\n"
+    i i j j;
+  bpf buf "  }\n  __syncthreads();\n";
+  bpf buf "  for (int y = ty; y < %d; y += %d) {\n" tile block_rows;
+  bpf buf "    if (base_%c + tx < N_%c && base_%c + y < N_%c)\n" j j i i;
+  bpf buf
+    "      g_dst[(long long)(base_%c + tx) * sD_%c + (long long)(base_%c + y) \
+     * sD_%c + rest_dst] = tile_s[tx][y];\n"
+    j j i i;
+  bpf buf "  }\n}\n"
+
+let emit_kernel ~precision ~src ~dst =
+  check_permutation ~src ~dst;
+  if List.for_all2 Index.equal src dst then
+    invalid_arg "Transpose_gen: identity permutation needs no kernel";
+  let name = kernel_name ~src ~dst in
+  let scalar = Precision.cuda_type precision in
+  let buf = Buffer.create 2048 in
+  if uses_tiled_schema ~src ~dst then emit_tiled buf name scalar ~src ~dst
+  else emit_packed buf name scalar ~src ~dst;
+  Buffer.contents buf
+
+let emit ~precision ~src ~dst =
+  let kname = kernel_name ~src ~dst in
+  let scalar = Precision.cuda_type precision in
+  let buf = Buffer.create 2048 in
+  bpf buf "// cuTT-style %s transpose kernel: %s -> %s\n"
+    (if uses_tiled_schema ~src ~dst then "tiled" else "packed")
+    (Index.list_to_string src) (Index.list_to_string dst);
+  Buffer.add_string buf (emit_kernel ~precision ~src ~dst);
+  bpf buf "\nextern \"C\" void %s_launch(\n" kname;
+  bpf buf "    %s* d_dst, const %s* d_src" scalar scalar;
+  List.iter (fun i -> bpf buf ",\n    int N_%c" i) src;
+  bpf buf ",\n    cudaStream_t stream)\n{\n";
+  if uses_tiled_schema ~src ~dst then begin
+    let i = List.hd src and j = List.hd dst in
+    bpf buf "  long long blocks = 1;\n";
+    bpf buf "  blocks *= (N_%c + %d - 1) / %d;\n" i tile tile;
+    bpf buf "  blocks *= (N_%c + %d - 1) / %d;\n" j tile tile;
+    List.iter
+      (fun x ->
+        if not (Index.equal x i || Index.equal x j) then
+          bpf buf "  blocks *= N_%c;\n" x)
+      src;
+    bpf buf "  dim3 block(%d, %d);\n" tile block_rows
+  end
+  else begin
+    bpf buf "  long long total = 1;\n";
+    List.iter (fun x -> bpf buf "  total *= N_%c;\n" x) src;
+    bpf buf "  long long blocks = (total + 255) / 256;\n";
+    bpf buf "  if (blocks > 65535) blocks = 65535;\n";
+    bpf buf "  dim3 block(256, 1);\n"
+  end;
+  bpf buf "  %s<<<(unsigned)blocks, block, 0, stream>>>(d_dst, d_src%s);\n"
+    kname
+    (String.concat ""
+       (List.map (fun x -> Printf.sprintf ", N_%c" x) src));
+  bpf buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** CUDA code generation for tensor transposition — the cuTT-style kernels
+    the TAL_SH baseline links against (§VI, "efficient GPU tensor
+    transposition").
+
+    Two schemas, chosen automatically:
+
+    - {e packed}: when the permutation preserves the fastest-varying index,
+      reads and writes both stream along it; one guarded grid-stride loop.
+    - {e tiled}: otherwise the classic shared-memory transpose over the
+      (source FVI, destination FVI) plane — 32x32 tiles with padding to
+      avoid bank conflicts, 32x8 threads sweeping each tile, remaining
+      axes decomposed from the block index.
+
+    Extents are runtime parameters, matching {!Cogent.Codegen}'s
+    convention.  The host-side algorithm of {!Tc_tensor.Permute} mirrors
+    these schemas and serves as their numerical oracle. *)
+
+open Tc_tensor
+open Tc_gpu
+
+val kernel_name : src:Index.t list -> dst:Index.t list -> string
+(** E.g. [transpose_aebf_to_abef]. *)
+
+val uses_tiled_schema : src:Index.t list -> dst:Index.t list -> bool
+(** True when the FVI changes and the shared-memory tile is needed.
+    @raise Invalid_argument if [dst] is not a permutation of [src]. *)
+
+val emit_kernel :
+  precision:Precision.t -> src:Index.t list -> dst:Index.t list -> string
+(** The [__global__] kernel.
+    @raise Invalid_argument on a non-permutation or an identity
+    permutation (no kernel needed). *)
+
+val emit :
+  precision:Precision.t -> src:Index.t list -> dst:Index.t list -> string
+(** Kernel plus an [extern "C"] launcher computing the grid. *)
+
+val tile : int
+(** Tile edge of the shared-memory schema (32). *)

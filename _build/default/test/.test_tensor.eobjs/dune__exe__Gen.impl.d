@@ -1,0 +1,1 @@
+test/gen.ml: Array Ast Char Classify Contract_ref Dense Format List Problem QCheck QCheck_alcotest Random Shape Sizes Tc_expr Tc_tensor

@@ -1,0 +1,1 @@
+test/test_autotune.ml: Alcotest Arch Cogent Driver Gen Genetic List Mapping Precision Problem QCheck Random Space Tc_autotune Tc_expr Tc_gpu Tc_sim Tc_tensor Tuner

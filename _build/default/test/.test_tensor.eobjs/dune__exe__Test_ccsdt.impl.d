@@ -1,0 +1,1 @@
+test/test_ccsdt.ml: Alcotest Dense Float List Shape Tc_ccsdt Tc_gpu Tc_tensor Triples

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Arch Cogent Filename Lazy List Precision Printf Sys Tc_expr Tc_gpu Tc_tccg

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Ast Classify Contract_ref Dense Float Format Fuse Gen Index List Parser Printf Problem QCheck Shape Sizes Split Tc_expr Tc_tensor

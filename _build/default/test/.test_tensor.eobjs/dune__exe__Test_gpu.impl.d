@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Arch Gen Occupancy Precision QCheck Tc_gpu

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Arch Cogent Contract_ref Dense Index List Option Precision Printf Problem String Sys Tc_expr Tc_gpu Tc_nwchem Tc_sim Tc_tccg Tc_tensor Tc_ttgt

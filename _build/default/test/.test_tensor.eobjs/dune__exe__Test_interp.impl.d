@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arch Ast Classify Cogent Contract_ref Dense Driver Format Gen Interp List Mapping Plan Precision Problem QCheck Shape Tc_expr Tc_gpu Tc_tensor

@@ -1,0 +1,1 @@
+test/test_nwchem.ml: Alcotest Arch Cogent Driver Gen Mapping Nwgen Plan Problem QCheck Tc_expr Tc_gpu Tc_nwchem Tc_sim Tc_tensor

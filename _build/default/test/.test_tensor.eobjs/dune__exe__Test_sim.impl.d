@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Cogent Cost Driver Float Gen List Mapping Plan Precision Problem QCheck Simkernel Tc_expr Tc_gpu Tc_sim

@@ -1,0 +1,1 @@
+test/test_tccg.ml: Alcotest Ast Classify Cogent Contract_ref Dense List Printf Problem Shape String Suite Tc_expr Tc_tccg Tc_tensor Tc_ttgt

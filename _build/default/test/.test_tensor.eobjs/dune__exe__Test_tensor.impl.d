@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Contract_ref Dense Float Gen Index List Matmul Permute QCheck Random Shape Tc_expr Tc_tensor

@@ -1,0 +1,1 @@
+test/test_ttgt.ml: Alcotest Arch Contract_ref Dense Filename Gemm_model Gen Index List Precision Printf Problem QCheck String Sys Tc_expr Tc_gpu Tc_tensor Tc_ttgt Transpose_gen Transpose_model Ttgt

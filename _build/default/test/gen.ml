@@ -1,0 +1,89 @@
+(* Shared QCheck generators: random (but always well-formed) binary tensor
+   contractions with small extents, used to cross-validate every execution
+   path against the reference contraction. *)
+
+open Tc_tensor
+open Tc_expr
+
+type case = {
+  problem : Problem.t;
+  lhs : Dense.t;  (* as written in the expression *)
+  rhs : Dense.t;
+}
+
+let shuffle st l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = QCheck.Gen.int_bound i st in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* A random contraction: 1-2 lhs externals, 0-2 rhs externals, 0-2
+   internals (at least 3 indices total keeps it interesting), random
+   layouts, random extents in 1..6, random lhs/rhs order (to exercise the
+   canonicalization swap). *)
+let contraction_gen : (Ast.t * Sizes.t) QCheck.Gen.t =
+ fun st ->
+  let open QCheck.Gen in
+  let n_lhs_ext = 1 + int_bound 1 st in
+  let n_rhs_ext = int_bound 2 st in
+  let n_int = int_bound 2 st in
+  let n_int = if n_rhs_ext = 0 && n_int = 0 then 1 else n_int in
+  let total = n_lhs_ext + n_rhs_ext + n_int in
+  let letters = List.init total (fun k -> Char.chr (Char.code 'a' + k)) in
+  let letters = shuffle st letters in
+  let rec take n = function
+    | [] -> ([], [])
+    | l when n = 0 -> ([], l)
+    | x :: rest ->
+        let a, b = take (n - 1) rest in
+        (x :: a, b)
+  in
+  let lhs_ext, rest = take n_lhs_ext letters in
+  let rhs_ext, internals = take n_rhs_ext rest in
+  let out = shuffle st (lhs_ext @ rhs_ext) in
+  let lhs = shuffle st (lhs_ext @ internals) in
+  let rhs = shuffle st (rhs_ext @ internals) in
+  let sizes =
+    Sizes.of_list (List.map (fun i -> (i, 1 + int_bound 5 st)) letters)
+  in
+  (* Randomly present the inputs swapped so that the output FVI sometimes
+     lives in the rhs. *)
+  let lhs, rhs = if bool st then (lhs, rhs) else (rhs, lhs) in
+  let ast =
+    Ast.make
+      ~out:{ Ast.name = "C"; indices = out }
+      ~lhs:{ Ast.name = "A"; indices = lhs }
+      ~rhs:{ Ast.name = "B"; indices = rhs }
+  in
+  (ast, sizes)
+
+let case_gen : case QCheck.Gen.t =
+ fun st ->
+  let ast, sizes = contraction_gen st in
+  let problem = Problem.make_exn ast sizes in
+  let info = Problem.info problem in
+  let orig = info.Classify.original in
+  let seed = QCheck.Gen.int_bound 10_000 st in
+  let shape_of indices = Shape.of_indices ~sizes indices in
+  let lhs = Dense.random ~seed (shape_of orig.Ast.lhs.Ast.indices) in
+  let rhs = Dense.random ~seed:(seed + 1) (shape_of orig.Ast.rhs.Ast.indices) in
+  { problem; lhs; rhs }
+
+let case_print c =
+  Format.asprintf "%a" Problem.pp c.problem
+
+let case_arbitrary = QCheck.make ~print:case_print case_gen
+
+(* Reference result for a case; Contract_ref is insensitive to operand
+   order, so the original (as-written) order is fine. *)
+let reference c =
+  let info = Problem.info c.problem in
+  Contract_ref.contract ~out_indices:info.Classify.externals c.lhs c.rhs
+
+(* Fixed seed: property tests must be reproducible across runs. *)
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed |]) t

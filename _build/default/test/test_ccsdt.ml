@@ -1,0 +1,110 @@
+open Tc_tensor
+open Tc_ccsdt
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let small = Triples.make ~nh:3 ~np:4 ()
+
+let test_make_validates () =
+  match Triples.make ~nh:1 ~np:4 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "nh=1 accepted"
+
+let test_t3_shape () =
+  let t = Triples.t3 small ~method_:Triples.Reference in
+  check (Alcotest.list Alcotest.int) "nh^3 x np^3" [ 3; 3; 3; 4; 4; 4 ]
+    (Shape.extents (Dense.shape t))
+
+let test_methods_agree () =
+  let r = Triples.t3 small ~method_:Triples.Reference in
+  let c = Triples.t3 small ~method_:Triples.Cogent_plans in
+  let t = Triples.t3 small ~method_:Triples.Ttgt_pipeline in
+  check Alcotest.bool "cogent == reference" true
+    (Dense.equal_approx ~tol:1e-10 r c);
+  check Alcotest.bool "ttgt == reference" true
+    (Dense.equal_approx ~tol:1e-10 r t)
+
+let test_energy_negative () =
+  (* with a gapped spectrum every denominator is negative, so E(T) < 0 *)
+  let e = Triples.correction small in
+  check Alcotest.bool "physical sign" true (e < 0.0);
+  check Alcotest.bool "finite" true (Float.is_finite e)
+
+let test_energy_deterministic () =
+  check (Alcotest.float 0.0) "same system, same energy"
+    (Triples.correction small)
+    (Triples.correction (Triples.make ~nh:3 ~np:4 ()))
+
+let test_energy_method_independent () =
+  let e_ref = Triples.correction ~method_:Triples.Reference small in
+  let e_cg = Triples.correction ~method_:Triples.Cogent_plans small in
+  check (Alcotest.float 1e-10) "corrections agree" e_ref e_cg
+
+let test_energy_shape_guard () =
+  let wrong = Dense.create (Shape.make [ ('a', 2) ]) in
+  match Triples.energy small wrong with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "wrong t3 shape accepted"
+
+let test_seed_changes_amplitudes () =
+  let other = Triples.make ~seed:99 ~nh:3 ~np:4 () in
+  check Alcotest.bool "different seeds differ" true
+    (Float.abs (Triples.correction small -. Triples.correction other) > 1e-12)
+
+let test_sweep_ordering () =
+  (* the paper's CCSD(T) story at production scale: COGENT fastest, the
+     TTGT pipeline slowest *)
+  let sweeps =
+    Triples.sweep_estimate Tc_gpu.Arch.v100 Tc_gpu.Precision.FP64 ~nh:16
+      ~np:48
+  in
+  check Alcotest.int "three strategies" 3 (List.length sweeps);
+  (match sweeps with
+  | first :: _ ->
+      check Alcotest.string "COGENT fastest" "COGENT"
+        first.Triples.strategy
+  | [] -> fail "no sweeps");
+  let last = List.nth sweeps 2 in
+  check Alcotest.string "TTGT slowest" "TAL_SH-style" last.Triples.strategy;
+  List.iter
+    (fun sw ->
+      check Alcotest.bool
+        (sw.Triples.strategy ^ " positive time")
+        true
+        (sw.Triples.time_s > 0.0 && Float.is_finite sw.Triples.gflops))
+    sweeps
+
+let test_sweep_sorted () =
+  let sweeps =
+    Triples.sweep_estimate Tc_gpu.Arch.p100 Tc_gpu.Precision.FP64 ~nh:16
+      ~np:48
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Triples.time_s <= b.Triples.time_s && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "fastest first" true (sorted sweeps)
+
+let () =
+  Alcotest.run "ccsdt"
+    [
+      ( "triples",
+        [
+          Alcotest.test_case "make validates" `Quick test_make_validates;
+          Alcotest.test_case "t3 shape" `Quick test_t3_shape;
+          Alcotest.test_case "three backends agree on t3" `Slow
+            test_methods_agree;
+          Alcotest.test_case "energy is negative" `Quick test_energy_negative;
+          Alcotest.test_case "energy deterministic" `Quick
+            test_energy_deterministic;
+          Alcotest.test_case "energy method-independent" `Slow
+            test_energy_method_independent;
+          Alcotest.test_case "energy shape guard" `Quick test_energy_shape_guard;
+          Alcotest.test_case "seeds matter" `Quick test_seed_changes_amplitudes;
+          Alcotest.test_case "sweep ordering matches the paper" `Slow
+            test_sweep_ordering;
+          Alcotest.test_case "sweeps sorted" `Slow test_sweep_sorted;
+        ] );
+    ]

@@ -1,0 +1,797 @@
+open Tc_gpu
+open Tc_expr
+open Cogent
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let eq1 =
+  Problem.of_string_exn "abcd-aebf-dfce"
+    ~sizes:[ ('a', 48); ('b', 48); ('c', 48); ('d', 48); ('e', 32); ('f', 32) ]
+
+let gemm_like =
+  Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 32); ('b', 32); ('c', 32) ]
+
+let b idx tile = { Mapping.index = idx; tile }
+
+let gemm_mapping =
+  {
+    Mapping.tbx = [ b 'a' 16 ];
+    regx = [];
+    tby = [ b 'b' 16 ];
+    regy = [];
+    tbk = [ b 'c' 8 ];
+    grid = [];
+  }
+
+let eq1_mapping =
+  {
+    Mapping.tbx = [ b 'a' 16 ];
+    regx = [ b 'b' 4 ];
+    tby = [ b 'd' 16 ];
+    regy = [ b 'c' 4 ];
+    tbk = [ b 'e' 8; b 'f' 1 ];
+    grid = [];
+  }
+
+(* ---- Mapping ---- *)
+
+let test_mapping_sizes () =
+  check Alcotest.int "tbx" 16 (Mapping.size_tbx eq1_mapping);
+  check Alcotest.int "regx" 4 (Mapping.size_regx eq1_mapping);
+  check Alcotest.int "tbk" 8 (Mapping.size_tbk eq1_mapping);
+  check Alcotest.int "threads" 256 (Mapping.threads_per_block eq1_mapping);
+  check Alcotest.int "smem elems = (TBx*REGx + TBy*REGy)*TBk"
+    (((16 * 4) + (16 * 4)) * 8)
+    (Mapping.smem_elems eq1_mapping);
+  check Alcotest.int "reg elems = RX*RY + RX + RY" (16 + 4 + 4)
+    (Mapping.reg_elems_per_thread eq1_mapping)
+
+let test_mapping_tile_of () =
+  check Alcotest.int "tbx index" 16 (Mapping.tile_of eq1_mapping 'a');
+  check Alcotest.int "tbk index" 1 (Mapping.tile_of eq1_mapping 'f');
+  let with_grid = { eq1_mapping with Mapping.regx = []; grid = [ 'b' ] } in
+  check Alcotest.int "grid tile is 1" 1 (Mapping.tile_of with_grid 'b');
+  match Mapping.tile_of eq1_mapping 'z' with
+  | exception Not_found -> ()
+  | _ -> fail "foreign index accepted"
+
+let test_mapping_blocks_steps () =
+  (* extents 48/tile 16 -> 3; 48/4 -> 12; steps: 32/8 * 32/1 *)
+  check Alcotest.int "blocks" (3 * 12 * 12 * 3)
+    (Mapping.num_blocks eq1 eq1_mapping);
+  check Alcotest.int "steps" (4 * 32) (Mapping.num_steps eq1 eq1_mapping);
+  (* ceil semantics on non-divisible extents *)
+  let p =
+    Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 33); ('b', 32); ('c', 9) ]
+  in
+  check Alcotest.int "ceil blocks" (3 * 2) (Mapping.num_blocks p gemm_mapping);
+  check Alcotest.int "ceil steps" 2 (Mapping.num_steps p gemm_mapping)
+
+let test_mapping_validate_ok () =
+  (match Mapping.validate eq1 eq1_mapping with
+  | Ok () -> ()
+  | Error e -> fail e);
+  match Mapping.validate gemm_like gemm_mapping with
+  | Ok () -> ()
+  | Error e -> fail e
+
+let test_mapping_validate_rejects () =
+  let expect_err m msg =
+    match Mapping.validate eq1 m with
+    | Error _ -> ()
+    | Ok () -> fail msg
+  in
+  expect_err
+    { eq1_mapping with Mapping.grid = [ 'b' ] }
+    "external mapped twice accepted";
+  expect_err
+    { eq1_mapping with Mapping.regx = [] }
+    "missing external accepted";
+  expect_err
+    { eq1_mapping with Mapping.tbk = [ b 'e' 8 ] }
+    "missing internal accepted";
+  expect_err
+    {
+      eq1_mapping with
+      (* d is an rhs external; it may not sit on the X side *)
+      Mapping.regx = [ b 'd' 4 ];
+      tby = [ b 'b' 16 ];
+      regy = [ b 'c' 4 ];
+    }
+    "wrong side accepted";
+  expect_err
+    { eq1_mapping with Mapping.tbx = [ b 'a' 64 ] }
+    "tile above extent accepted";
+  expect_err
+    { eq1_mapping with Mapping.tbx = [ b 'a' 0 ] }
+    "zero tile accepted"
+
+let test_mapping_compare () =
+  check Alcotest.bool "equal to itself" true
+    (Mapping.equal eq1_mapping eq1_mapping);
+  check Alcotest.bool "differs on tile" false
+    (Mapping.equal eq1_mapping { eq1_mapping with Mapping.tbx = [ b 'a' 8 ] })
+
+(* ---- Enumerate ---- *)
+
+let test_pack_greedy_clamp () =
+  (* extent 24 crosses target 16: clamped to 16/1 = 16 *)
+  let bindings, reached =
+    Enumerate.pack_greedy ~target:16 ~first:(Some ('a', 24)) ~candidates:[]
+  in
+  check Alcotest.bool "reached" true reached;
+  check Alcotest.int "clamped tile" 16 (List.hd bindings).Mapping.tile
+
+let test_pack_greedy_multi () =
+  (* 2 * 4 = 8 exactly packs two indices *)
+  let bindings, reached =
+    Enumerate.pack_greedy ~target:8 ~first:None
+      ~candidates:[ ('a', 2); ('b', 4) ]
+  in
+  check Alcotest.bool "reached" true reached;
+  check Alcotest.int "two bindings" 2 (List.length bindings);
+  check Alcotest.int "a full" 2 (List.nth bindings 0).Mapping.tile;
+  check Alcotest.int "b full" 4 (List.nth bindings 1).Mapping.tile
+
+let test_pack_greedy_non_divisible () =
+  (* prev 6, target 16: crossing index clamped to 16/6 = 2 *)
+  let bindings, reached =
+    Enumerate.pack_greedy ~target:16 ~first:None
+      ~candidates:[ ('a', 6); ('b', 30) ]
+  in
+  check Alcotest.bool "reached" true reached;
+  check Alcotest.int "b clamped to 2" 2 (List.nth bindings 1).Mapping.tile
+
+let test_pack_greedy_exhausted () =
+  let bindings, reached =
+    Enumerate.pack_greedy ~target:16 ~first:None ~candidates:[ ('a', 3) ]
+  in
+  check Alcotest.bool "not reached" false reached;
+  check Alcotest.int "fully packed" 3 (List.hd bindings).Mapping.tile
+
+let test_enumerate_eq1_nonempty () =
+  let configs = Enumerate.enumerate eq1 in
+  check Alcotest.bool "nonempty" true (configs <> []);
+  List.iter
+    (fun m ->
+      (match Mapping.validate eq1 m with
+      | Ok () -> ()
+      | Error e -> fail (Format.asprintf "invalid enumerated config %a: %s" Mapping.pp m e));
+      match m.Mapping.tbx with
+      | { Mapping.index = 'a'; _ } :: _ -> ()
+      | _ -> fail "tbx head is not the output FVI")
+    configs
+
+let test_enumerate_dedup () =
+  let configs = Enumerate.enumerate eq1 in
+  let module MSet = Set.Make (struct
+    type t = Mapping.t
+
+    let compare = Mapping.compare
+  end) in
+  check Alcotest.int "no duplicates"
+    (List.length configs)
+    (MSet.cardinal (MSet.of_list configs))
+
+let test_enumerate_tiny_fallback () =
+  (* all extents 2: targets unreachable, fallback keeps exhausted packs *)
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 2); ('b', 2); ('c', 2) ] in
+  check Alcotest.bool "nonempty" true (Enumerate.enumerate p <> [])
+
+let test_naive_space_eq1 () =
+  (* §IV: 3,981,312 configurations for Eq. 1 *)
+  check (Alcotest.float 0.5) "paper's number" 3_981_312.0
+    (Enumerate.naive_space_size eq1)
+
+let enumerate_all_valid =
+  QCheck.Test.make ~count:60 ~name:"every enumerated config validates"
+    Gen.case_arbitrary (fun c ->
+      let configs = Enumerate.enumerate c.Gen.problem in
+      configs <> []
+      && List.for_all
+           (fun m -> Mapping.validate c.Gen.problem m = Ok ())
+           configs)
+
+(* ---- Prune ---- *)
+
+let test_prune_smem_overflow () =
+  (* (16*8 + 16*8) * 32 * 8B = 64 KB > 48 KB *)
+  let p =
+    Problem.of_string_exn "ab-acd-dcb"
+      ~sizes:[ ('a', 64); ('b', 64); ('c', 64); ('d', 64) ]
+  in
+  let m =
+    {
+      Mapping.tbx = [ b 'a' 16 ];
+      regx = [];
+      tby = [ b 'b' 16 ];
+      regy = [];
+      tbk = [ b 'c' 32; b 'd' 8 ];
+      grid = [];
+    }
+  in
+  check Alcotest.int "smem bytes" (((16 * 1) + (16 * 1)) * 256 * 8)
+    (Prune.smem_bytes Precision.FP64 m);
+  match Prune.check Arch.v100 Precision.FP64 p m with
+  | Error Prune.Smem_overflow -> ()
+  | Error r -> fail (Prune.reason_to_string r)
+  | Ok () -> fail "smem overflow accepted"
+
+let test_prune_too_many_threads () =
+  let p =
+    Problem.of_string_exn "ab-ac-cb"
+      ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ]
+  in
+  let m =
+    {
+      Mapping.tbx = [ b 'a' 64 ];
+      regx = [];
+      tby = [ b 'b' 64 ];
+      regy = [];
+      tbk = [ b 'c' 1 ];
+      grid = [];
+    }
+  in
+  match Prune.check Arch.v100 Precision.FP64 p m with
+  | Error Prune.Too_many_threads -> ()
+  | _ -> fail "4096 threads accepted"
+
+let test_prune_uncoalesced () =
+  (* tiny tile on the output FVI breaks store coalescing *)
+  let m = { eq1_mapping with Mapping.tbx = [ b 'a' 2 ]; regx = [ b 'b' 8 ] } in
+  match Prune.check Arch.v100 Precision.FP64 eq1 m with
+  | Error Prune.Uncoalesced_out -> ()
+  | Error r -> fail (Prune.reason_to_string r)
+  | Ok () -> fail "uncoalesced store accepted"
+
+let test_prune_regs_fp32_cheaper () =
+  check Alcotest.bool "fp32 needs fewer registers" true
+    (Prune.regs_per_thread Precision.FP32 eq1_mapping
+    < Prune.regs_per_thread Precision.FP64 eq1_mapping)
+
+let test_prune_filter_stats () =
+  let configs = Enumerate.enumerate eq1 in
+  let kept, stats = Prune.filter Arch.v100 Precision.FP64 eq1 configs in
+  check Alcotest.int "enumerated" (List.length configs) stats.Prune.enumerated;
+  check Alcotest.int "kept" (List.length kept) stats.Prune.kept;
+  check Alcotest.bool "something pruned" true (stats.Prune.kept < stats.Prune.enumerated);
+  check Alcotest.bool "not relaxed" false stats.Prune.relaxed;
+  List.iter
+    (fun m ->
+      match Prune.check Arch.v100 Precision.FP64 eq1 m with
+      | Ok () -> ()
+      | Error r -> fail (Prune.reason_to_string r))
+    kept
+
+let test_prune_relaxation () =
+  (* a tiny contraction cannot satisfy the block-count constraint, but
+     filter must still return something, flagged as relaxed *)
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 4); ('b', 4); ('c', 4) ] in
+  let kept, stats = Prune.filter Arch.v100 Precision.FP64 p (Enumerate.enumerate p) in
+  check Alcotest.bool "kept nonempty" true (kept <> []);
+  check Alcotest.bool "relaxed" true stats.Prune.relaxed
+
+(* ---- Cost ---- *)
+
+let test_cost_contiguous_run () =
+  (* a fully tiled (16 = extent? no, 48) stops the run at its tile *)
+  check Alcotest.int "partial tile stops run" 16
+    (Cost.contiguous_run eq1 eq1_mapping [ 'a'; 'e'; 'b'; 'f' ]);
+  (* full coverage chains into the next index *)
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 16); ('b', 16); ('c', 4) ] in
+  let m =
+    {
+      Mapping.tbx = [ b 'a' 16 ];
+      regx = [];
+      tby = [ b 'b' 4 ];
+      regy = [];
+      tbk = [ b 'c' 4 ];
+      grid = [];
+    }
+  in
+  check Alcotest.int "chained run 16*4" (16 * 4)
+    (Cost.contiguous_run p m [ 'a'; 'c' ])
+
+let test_cost_store_run () =
+  (* store run only extends over TBx-mapped indices *)
+  check Alcotest.int "stops at regx index" 16 (Cost.store_run eq1 eq1_mapping)
+
+let test_cost_breakdown_total () =
+  let bd = Cost.transactions Precision.FP64 eq1 eq1_mapping in
+  check (Alcotest.float 1e-6) "total = lhs+rhs+out"
+    (bd.Cost.lhs +. bd.Cost.rhs +. bd.Cost.out)
+    (Cost.total Precision.FP64 eq1 eq1_mapping);
+  check Alcotest.bool "all positive" true
+    (bd.Cost.lhs > 0.0 && bd.Cost.rhs > 0.0 && bd.Cost.out > 0.0)
+
+let test_cost_prefers_coalesced_store () =
+  (* Same structure, but a 2-wide tile on the output FVI: more store
+     transactions. *)
+  let bad = { eq1_mapping with Mapping.tbx = [ b 'a' 2 ]; regx = [ b 'b' 8 ] } in
+  let good = Cost.transactions Precision.FP64 eq1 eq1_mapping in
+  let worse = Cost.transactions Precision.FP64 eq1 bad in
+  check Alcotest.bool "uncoalesced store costs more" true
+    (worse.Cost.out > good.Cost.out)
+
+let test_cost_fp32_fewer_transactions () =
+  (* With runs longer than 16 elements, FP32 packs twice as many elements
+     per 128-byte transaction. *)
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 16); ('b', 16); ('c', 4) ] in
+  let m =
+    {
+      Mapping.tbx = [ b 'a' 16 ];
+      regx = [];
+      tby = [ b 'b' 4 ];
+      regy = [];
+      tbk = [ b 'c' 4 ];
+      grid = [];
+    }
+  in
+  check Alcotest.bool "fp32 strictly cheaper on 64-element runs" true
+    (Cost.total Precision.FP32 p m < Cost.total Precision.FP64 p m);
+  (* and never more expensive in general *)
+  check Alcotest.bool "fp32 <= fp64 on Eq. 1" true
+    (Cost.total Precision.FP32 eq1 eq1_mapping
+    <= Cost.total Precision.FP64 eq1 eq1_mapping)
+
+let test_cost_rank_sorted () =
+  let ranked = Cost.rank Precision.FP64 eq1 (Enumerate.enumerate eq1) in
+  let rec sorted = function
+    | (_, c1) :: ((_, c2) :: _ as rest) -> c1 <= c2 && sorted rest
+    | _ -> true
+  in
+  check Alcotest.bool "ascending" true (sorted ranked)
+
+let test_cost_foreign_block_scaling () =
+  (* doubling an external absent from A doubles how often A's slabs are
+     reloaded, hence its load transactions *)
+  let mk c_extent =
+    Problem.of_string_exn "ab-ac-cb"
+      ~sizes:[ ('a', 64); ('b', c_extent); ('c', 32) ]
+  in
+  let t n =
+    (Cost.transactions Precision.FP64 (mk n) gemm_mapping).Cost.lhs
+  in
+  check (Alcotest.float 1e-6) "2x b -> 2x lhs transactions" (2.0 *. t 64)
+    (t 128)
+
+let test_cost_bytes_moved () =
+  check (Alcotest.float 1e-6) "bytes = 128 * transactions"
+    (128.0 *. Cost.total Precision.FP64 eq1 eq1_mapping)
+    (Cost.bytes_moved Precision.FP64 eq1 eq1_mapping)
+
+let enumerate_tbk_covers_internals =
+  QCheck.Test.make ~count:60 ~name:"tbk holds every internal exactly once"
+    Gen.case_arbitrary (fun c ->
+      let info = Problem.info c.Gen.problem in
+      List.for_all
+        (fun m ->
+          let tbk = List.map (fun bd -> bd.Mapping.index) m.Mapping.tbk in
+          List.sort Char.compare tbk
+          = List.sort Char.compare info.Tc_expr.Classify.internals)
+        (Enumerate.enumerate c.Gen.problem))
+
+let codegen_deterministic =
+  QCheck.Test.make ~count:30 ~name:"emission is deterministic"
+    Gen.case_arbitrary (fun c ->
+      let plan = Driver.best_plan c.Gen.problem in
+      String.equal (Codegen.emit plan) (Codegen.emit plan)
+      && String.equal (Codegen.emit_opencl plan) (Codegen.emit_opencl plan))
+
+(* ---- Plan ---- *)
+
+let test_plan_derived () =
+  let plan =
+    Plan.make ~problem:eq1 ~mapping:eq1_mapping ~arch:Arch.v100
+      ~precision:Precision.FP64
+  in
+  check Alcotest.int "threads" 256 (Plan.threads_per_block plan);
+  check Alcotest.int "smem" (128 * 8 * 8) (Plan.smem_bytes plan);
+  check Alcotest.int "blocks" (Mapping.num_blocks eq1 eq1_mapping)
+    (Plan.num_blocks plan);
+  check (Alcotest.float 1e-9) "flops" (Problem.flops eq1) (Plan.flops plan);
+  check Alcotest.bool "occupancy positive" true
+    ((Plan.occupancy plan).Tc_gpu.Occupancy.occupancy > 0.0)
+
+let test_plan_rejects_invalid () =
+  match
+    Plan.make ~problem:eq1
+      ~mapping:{ eq1_mapping with Mapping.tbk = [] }
+      ~arch:Arch.v100 ~precision:Precision.FP64
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "invalid mapping accepted"
+
+(* ---- Codegen ---- *)
+
+let gemm_plan =
+  Plan.make ~problem:gemm_like ~mapping:gemm_mapping ~arch:Arch.v100
+    ~precision:Precision.FP64
+
+let golden_path file =
+  (* dune materializes the golden files next to the test executable; fall
+     back to the source path when run from the repository root. *)
+  let beside_exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat "golden" file)
+  in
+  if Sys.file_exists beside_exe then beside_exe
+  else if Sys.file_exists (Filename.concat "golden" file) then
+    Filename.concat "golden" file
+  else Filename.concat "test/golden" file
+
+let read_golden file =
+  let ic = open_in (golden_path file) in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_codegen_golden () =
+  check Alcotest.string "golden kernel" (read_golden "ab_ac_cb.cu")
+    (Codegen.emit gemm_plan)
+
+let test_codegen_golden_opencl () =
+  check Alcotest.string "golden OpenCL kernel" (read_golden "ab_ac_cb.cl")
+    (Codegen.emit_opencl gemm_plan)
+
+let has_sub src needle =
+  let ln = String.length needle and ls = String.length src in
+  let rec go i = i + ln <= ls && (String.sub src i ln = needle || go (i + 1)) in
+  go 0
+
+let test_codegen_opencl_structure () =
+  let src = Codegen.emit_kernel ~dialect:Codegen.Opencl gemm_plan in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "opencl contains %S" needle) true
+        (has_sub src needle))
+    [
+      "__kernel void cogent_ab_ac_cb";
+      "__global double* restrict g_C";
+      "__local double s_A[128]";
+      "barrier(CLK_LOCAL_MEM_FENCE);";
+      "get_local_id(0)";
+      "get_group_id(0)";
+      "#pragma OPENCL EXTENSION cl_khr_fp64 : enable";
+    ];
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "opencl lacks %S" needle) false
+        (has_sub src needle))
+    [ "__syncthreads"; "threadIdx"; "blockIdx"; "__shared__"; "long long" ]
+
+let test_codegen_opencl_fp32_no_pragma () =
+  let plan =
+    Plan.make ~problem:gemm_like ~mapping:gemm_mapping ~arch:Arch.v100
+      ~precision:Precision.FP32
+  in
+  let src = Codegen.emit_kernel ~dialect:Codegen.Opencl plan in
+  check Alcotest.bool "no fp64 pragma in fp32 kernels" false
+    (has_sub src "cl_khr_fp64")
+
+let test_codegen_structure () =
+  let eq1_plan =
+    Plan.make ~problem:eq1 ~mapping:eq1_mapping ~arch:Arch.v100
+      ~precision:Precision.FP64
+  in
+  let src = Codegen.emit eq1_plan in
+  let has needle =
+    check Alcotest.bool (Printf.sprintf "contains %S" needle) true
+      (let len_n = String.length needle and len_s = String.length src in
+       let rec go i =
+         i + len_n <= len_s
+         && (String.sub src i len_n = needle || go (i + 1))
+       in
+       go 0)
+  in
+  has "__global__ void cogent_abcd_aebf_dfce";
+  has "__shared__ double s_A[512]";
+  has "__shared__ double s_B[512]";
+  has "double r_C[16]";
+  has "__syncthreads();";
+  has "r_C[ry * 4 + rx] += r_A[rx] * r_B[ry];";
+  has "extern \"C\" void cogent_abcd_aebf_dfce_launch";
+  has "dim3 block(16, 16);";
+  (* runtime-parametric extents *)
+  has "const int N_a"
+
+let test_codegen_fp32 () =
+  let plan =
+    Plan.make ~problem:gemm_like ~mapping:gemm_mapping ~arch:Arch.v100
+      ~precision:Precision.FP32
+  in
+  let src = Codegen.emit_kernel plan in
+  check Alcotest.bool "uses float" true
+    (String.length src > 0
+    && (let re = "float* __restrict__ g_C" in
+        let len_n = String.length re and len_s = String.length src in
+        let rec go i =
+          i + len_n <= len_s && (String.sub src i len_n = re || go (i + 1))
+        in
+        go 0))
+
+let test_codegen_standalone_has_main () =
+  let src = Codegen.emit_standalone gemm_plan in
+  let has needle =
+    let len_n = String.length needle and len_s = String.length src in
+    let rec go i =
+      i + len_n <= len_s && (String.sub src i len_n = needle || go (i + 1))
+    in
+    go 0
+  in
+  check Alcotest.bool "main" true (has "int main()");
+  check Alcotest.bool "cudaMalloc" true (has "cudaMalloc");
+  check Alcotest.bool "representative extents" true (has "const int N_a = 32;")
+
+(* ---- Variants (§IV-B multi-version generation) ---- *)
+
+let variants_ast =
+  match Parser.parse "ab-ac-cb" with Ok a -> a | Error _ -> assert false
+
+let small_sizes = Sizes.of_list [ ('a', 64); ('b', 64); ('c', 64) ]
+let big_sizes = Sizes.of_list [ ('a', 2048); ('b', 2048); ('c', 512) ]
+
+let variants_t =
+  Variants.generate_exn variants_ast [ small_sizes; big_sizes ]
+
+let test_variants_generate () =
+  check Alcotest.int "two versions" 2 (List.length variants_t.Variants.variants);
+  let names = List.map (fun v -> v.Variants.name) variants_t.Variants.variants in
+  check Alcotest.bool "distinct names" true
+    (List.length (List.sort_uniq String.compare names) = 2)
+
+let test_variants_generate_rejects () =
+  (match Variants.generate variants_ast [] with
+  | Error _ -> ()
+  | Ok _ -> fail "empty representative list accepted");
+  match Variants.generate variants_ast [ Sizes.of_list [ ('a', 4) ] ] with
+  | Error _ -> ()
+  | Ok _ -> fail "non-covering sizes accepted"
+
+let test_variants_distance () =
+  check (Alcotest.float 1e-9) "identical sizes" 0.0
+    (Variants.distance small_sizes small_sizes [ 'a'; 'b'; 'c' ]);
+  check Alcotest.bool "positive otherwise" true
+    (Variants.distance small_sizes big_sizes [ 'a'; 'b'; 'c' ] > 0.0)
+
+let test_variants_select () =
+  let exact = Variants.select variants_t big_sizes in
+  check Alcotest.bool "exact representative selected" true
+    (exact.Variants.sizes == big_sizes
+    || Variants.distance exact.Variants.sizes big_sizes [ 'a'; 'b'; 'c' ] = 0.0);
+  (* a size near the small representative picks the small variant *)
+  let near_small = Sizes.of_list [ ('a', 80); ('b', 80); ('c', 48) ] in
+  let v = Variants.select variants_t near_small in
+  check Alcotest.int "nearest is the small version" 64
+    (Sizes.extent v.Variants.sizes 'a');
+  match Variants.select variants_t (Sizes.of_list [ ('a', 4) ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-covering runtime size accepted"
+
+let test_variants_emit () =
+  let src = Variants.emit variants_t in
+  let has needle =
+    let ln = String.length needle and ls = String.length src in
+    let rec go i = i + ln <= ls && (String.sub src i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "v0 kernel" true (has "cogent_ab_ac_cb_v0(");
+  check Alcotest.bool "v1 kernel" true (has "cogent_ab_ac_cb_v1(");
+  check Alcotest.bool "dispatcher" true (has "cogent_ab_ac_cb_dispatch(");
+  check Alcotest.bool "distance code" true (has "fabs(log((double)N_a / 64.0))");
+  check Alcotest.bool "dispatch calls v1" true
+    (has "case 1: cogent_ab_ac_cb_v1_launch(d_C, d_A, d_B, N_a, N_b, N_c, stream); break;")
+
+(* ---- Driver ---- *)
+
+let test_driver_generate () =
+  match Driver.generate eq1 with
+  | Error e -> fail e
+  | Ok r ->
+      check Alcotest.bool "ranked nonempty" true (r.Driver.ranked <> []);
+      check (Alcotest.float 0.5) "naive space" 3_981_312.0 r.Driver.naive_space;
+      (* without a measure, the plan is the model-cost minimum *)
+      let _, min_cost = List.hd r.Driver.ranked in
+      check (Alcotest.float 1e-6) "plan cost is minimum" min_cost
+        r.Driver.plan.Plan.cost
+
+let test_driver_refine_uses_measure () =
+  (* a measure preferring many blocks must pick the max-blocks candidate
+     among the top 8 *)
+  let measure plan = float_of_int (Plan.num_blocks plan) in
+  let r = Driver.generate_exn ~refine:8 ~measure eq1 in
+  let r0 = Driver.generate_exn eq1 in
+  let top8 = List.filteri (fun k _ -> k < 8) r0.Driver.ranked in
+  let best_blocks =
+    List.fold_left
+      (fun acc (m, _) -> max acc (Mapping.num_blocks eq1 m))
+      0 top8
+  in
+  check Alcotest.int "picked max blocks among top 8" best_blocks
+    (Plan.num_blocks r.Driver.plan)
+
+let test_driver_auto_split () =
+  let simulate plan =
+    (* stand-in measurement inside the core tests: model cost inverse is
+       enough to exercise the plumbing deterministically *)
+    1.0 /. (1.0 +. plan.Plan.cost)
+  in
+  let ttm =
+    Problem.of_string_exn "ab-cad-dcb"
+      ~sizes:[ ('a', 384); ('b', 384); ('c', 128); ('d', 128) ]
+  in
+  let base = Driver.generate_exn ~measure:simulate ttm in
+  let with_split = Driver.generate_exn ~measure:simulate ~auto_split:true ttm in
+  check Alcotest.bool "never worse under its own measure" true
+    (simulate with_split.Driver.plan >= simulate base.Driver.plan);
+  (* without a measure, auto_split silently degrades to the base path *)
+  let no_measure = Driver.generate_exn ~auto_split:true ttm in
+  check Alcotest.bool "same contraction without measure" true
+    (Problem.flops no_measure.Driver.plan.Plan.problem
+    = Problem.flops ttm)
+
+let test_driver_top_plans () =
+  let r = Driver.generate_exn eq1 in
+  check Alcotest.int "default 5" 5 (List.length (Driver.top_plans r));
+  check Alcotest.int "n=2" 2 (List.length (Driver.top_plans ~n:2 r))
+
+let test_driver_cuda_source () =
+  let r = Driver.generate_exn eq1 in
+  check Alcotest.bool "emits something" true
+    (String.length (Driver.cuda_source r) > 500)
+
+let driver_succeeds_on_generated =
+  QCheck.Test.make ~count:40 ~name:"driver succeeds on random contractions"
+    Gen.case_arbitrary (fun c ->
+      match Driver.generate c.Gen.problem with
+      | Ok r -> Mapping.validate c.Gen.problem r.Driver.plan.Plan.mapping = Ok ()
+      | Error _ -> false)
+
+(* ---- Cache ---- *)
+
+let test_cache_hits_and_misses () =
+  let cache = Cache.create () in
+  let p1 = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
+  let _ = Cache.find_or_generate cache p1 in
+  let _ = Cache.find_or_generate cache p1 in
+  (* 60 rounds to the same power-of-two class as 64 *)
+  let near = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 60); ('b', 60); ('c', 60) ] in
+  let _ = Cache.find_or_generate cache near in
+  let s = Cache.stats cache in
+  check Alcotest.int "one entry" 1 s.Cache.entries;
+  check Alcotest.int "two hits" 2 s.Cache.hits;
+  check Alcotest.int "one miss" 1 s.Cache.misses
+
+let test_cache_discriminates () =
+  let cache = Cache.create () in
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
+  let far = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 512); ('b', 512); ('c', 512) ] in
+  let other_layout = Problem.of_string_exn "ab-ca-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
+  ignore (Cache.find_or_generate cache p);
+  ignore (Cache.find_or_generate cache far);
+  ignore (Cache.find_or_generate cache other_layout);
+  ignore (Cache.find_or_generate cache ~precision:Precision.FP32 p);
+  ignore (Cache.find_or_generate cache ~arch:Arch.p100 p);
+  check Alcotest.int "five distinct entries" 5 (Cache.stats cache).Cache.entries
+
+let test_cache_size_class () =
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 48); ('b', 65); ('c', 96) ] in
+  (* 48 -> 64 (ties round down: 32 vs 64 equidistant? 48-32=16, 64-48=16 -> down), 65 -> 64, 96 -> 64 (96-64=32, 128-96=32 -> down) *)
+  check Alcotest.string "rounded extents" "a:32,b:64,c:64" (Cache.size_class p)
+
+let test_cache_clear () =
+  let cache = Cache.create () in
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
+  ignore (Cache.find_or_generate cache p);
+  Cache.clear cache;
+  check Alcotest.int "empty" 0 (Cache.stats cache).Cache.entries;
+  check Alcotest.int "counters reset" 0 (Cache.stats cache).Cache.hits
+
+let () =
+  Alcotest.run "cogent"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "sizes" `Quick test_mapping_sizes;
+          Alcotest.test_case "tile_of" `Quick test_mapping_tile_of;
+          Alcotest.test_case "blocks and steps" `Quick test_mapping_blocks_steps;
+          Alcotest.test_case "validate accepts" `Quick test_mapping_validate_ok;
+          Alcotest.test_case "validate rejects" `Quick
+            test_mapping_validate_rejects;
+          Alcotest.test_case "compare" `Quick test_mapping_compare;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "pack clamps at target" `Quick
+            test_pack_greedy_clamp;
+          Alcotest.test_case "pack multiple indices" `Quick
+            test_pack_greedy_multi;
+          Alcotest.test_case "pack non-divisible clamp" `Quick
+            test_pack_greedy_non_divisible;
+          Alcotest.test_case "pack exhausted" `Quick test_pack_greedy_exhausted;
+          Alcotest.test_case "Eq. 1 enumeration invariants" `Quick
+            test_enumerate_eq1_nonempty;
+          Alcotest.test_case "deduplicated" `Quick test_enumerate_dedup;
+          Alcotest.test_case "tiny-problem fallback" `Quick
+            test_enumerate_tiny_fallback;
+          Alcotest.test_case "naive space matches §IV" `Quick
+            test_naive_space_eq1;
+          Gen.to_alcotest enumerate_all_valid;
+          Gen.to_alcotest enumerate_tbk_covers_internals;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "smem overflow" `Quick test_prune_smem_overflow;
+          Alcotest.test_case "too many threads" `Quick
+            test_prune_too_many_threads;
+          Alcotest.test_case "uncoalesced output" `Quick test_prune_uncoalesced;
+          Alcotest.test_case "fp32 register footprint" `Quick
+            test_prune_regs_fp32_cheaper;
+          Alcotest.test_case "filter statistics" `Quick test_prune_filter_stats;
+          Alcotest.test_case "relaxation for tiny problems" `Quick
+            test_prune_relaxation;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "contiguous run" `Quick test_cost_contiguous_run;
+          Alcotest.test_case "store run" `Quick test_cost_store_run;
+          Alcotest.test_case "breakdown totals" `Quick test_cost_breakdown_total;
+          Alcotest.test_case "prefers coalesced stores" `Quick
+            test_cost_prefers_coalesced_store;
+          Alcotest.test_case "fp32 cheaper" `Quick
+            test_cost_fp32_fewer_transactions;
+          Alcotest.test_case "foreign-block scaling" `Quick
+            test_cost_foreign_block_scaling;
+          Alcotest.test_case "bytes moved" `Quick test_cost_bytes_moved;
+          Alcotest.test_case "rank sorted" `Quick test_cost_rank_sorted;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "derived quantities" `Quick test_plan_derived;
+          Alcotest.test_case "rejects invalid mapping" `Quick
+            test_plan_rejects_invalid;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "golden ab-ac-cb kernel" `Quick test_codegen_golden;
+          Alcotest.test_case "golden ab-ac-cb OpenCL kernel" `Quick
+            test_codegen_golden_opencl;
+          Alcotest.test_case "OpenCL structure" `Quick
+            test_codegen_opencl_structure;
+          Alcotest.test_case "OpenCL fp32 pragma" `Quick
+            test_codegen_opencl_fp32_no_pragma;
+          Alcotest.test_case "Eq. 1 structure" `Quick test_codegen_structure;
+          Alcotest.test_case "fp32 kernels" `Quick test_codegen_fp32;
+          Alcotest.test_case "standalone driver" `Quick
+            test_codegen_standalone_has_main;
+          Gen.to_alcotest codegen_deterministic;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "generate" `Quick test_variants_generate;
+          Alcotest.test_case "generate rejects" `Quick
+            test_variants_generate_rejects;
+          Alcotest.test_case "distance" `Quick test_variants_distance;
+          Alcotest.test_case "select" `Quick test_variants_select;
+          Alcotest.test_case "emit dispatcher" `Quick test_variants_emit;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hits and misses" `Quick test_cache_hits_and_misses;
+          Alcotest.test_case "discriminates keys" `Quick test_cache_discriminates;
+          Alcotest.test_case "size class" `Quick test_cache_size_class;
+          Alcotest.test_case "clear" `Quick test_cache_clear;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "generate" `Quick test_driver_generate;
+          Alcotest.test_case "refine uses measurement" `Quick
+            test_driver_refine_uses_measure;
+          Alcotest.test_case "auto_split" `Quick test_driver_auto_split;
+          Alcotest.test_case "top_plans" `Quick test_driver_top_plans;
+          Alcotest.test_case "cuda source" `Quick test_driver_cuda_source;
+          Gen.to_alcotest driver_succeeds_on_generated;
+        ] );
+    ]

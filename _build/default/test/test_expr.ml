@@ -1,0 +1,467 @@
+open Tc_tensor
+open Tc_expr
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let indices_t = Alcotest.testable Index.list_pp (List.for_all2 Index.equal)
+
+let parse_ok s =
+  match Parser.parse s with
+  | Ok ast -> ast
+  | Error e -> fail (Format.asprintf "parse of %S failed: %a" s Parser.pp_error e)
+
+let parse_err s =
+  match Parser.parse s with
+  | Ok _ -> fail (Printf.sprintf "parse of %S unexpectedly succeeded" s)
+  | Error e -> e
+
+(* ---- Parser ---- *)
+
+let test_parse_tccg () =
+  let ast = parse_ok "abcd-aebf-dfce" in
+  check indices_t "out" (Index.list_of_string "abcd") ast.Ast.out.Ast.indices;
+  check indices_t "lhs" (Index.list_of_string "aebf") ast.Ast.lhs.Ast.indices;
+  check indices_t "rhs" (Index.list_of_string "dfce") ast.Ast.rhs.Ast.indices
+
+let test_parse_einstein () =
+  let ast = parse_ok "C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]" in
+  check Alcotest.string "out name" "C" ast.Ast.out.Ast.name;
+  check Alcotest.string "lhs name" "A" ast.Ast.lhs.Ast.name;
+  check indices_t "rhs" (Index.list_of_string "dfce") ast.Ast.rhs.Ast.indices
+
+let test_parse_einstein_no_commas () =
+  let ast = parse_ok "T3[abcdef] = T2[gdab] * V[efgc]" in
+  check indices_t "out" (Index.list_of_string "abcdef") ast.Ast.out.Ast.indices;
+  check Alcotest.string "lhs name" "T2" ast.Ast.lhs.Ast.name
+
+let test_parse_whitespace_and_semicolon () =
+  let ast = parse_ok "  C[i,j]=A[i,k]  *B[k,j] ; " in
+  check indices_t "out" [ 'i'; 'j' ] ast.Ast.out.Ast.indices
+
+let test_parse_equivalence () =
+  let a = parse_ok "abcd-aebf-dfce" in
+  let b = parse_ok "C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]" in
+  check Alcotest.bool "two syntaxes agree" true (Ast.equal a b)
+
+let test_tccg_roundtrip () =
+  let s = "abcdef-gdab-efgc" in
+  check Alcotest.string "roundtrip" s (Ast.tccg_string (parse_ok s))
+
+let test_parse_errors () =
+  ignore (parse_err "abcd-aebf");
+  (* two groups only *)
+  ignore (parse_err "abcd--dfce");
+  (* empty group *)
+  ignore (parse_err "abcd-aeBf-dfce");
+  (* invalid char *)
+  ignore (parse_err "C[a] = A[a,b]");
+  (* missing * B *)
+  ignore (parse_err "C[a] = A[a1] * B[a]");
+  (* digit in index list *)
+  ignore (parse_err "C[] = A[a] * B[a]");
+  (* empty index list *)
+  ignore (parse_err "C[a] = A[ab] * B[b] trailing")
+
+let test_parse_error_position () =
+  let e = parse_err "abcd-ae!f-dfce" in
+  check Alcotest.int "position of bad char" 7 e.Parser.position
+
+(* ---- Classify ---- *)
+
+let analyse s = Classify.analyse_exn (parse_ok s)
+
+let test_classify_eq1 () =
+  let info = analyse "abcd-aebf-dfce" in
+  check indices_t "externals" (Index.list_of_string "abcd") info.Classify.externals;
+  check indices_t "internals" (Index.list_of_string "ef") info.Classify.internals;
+  check indices_t "lhs externals" (Index.list_of_string "ab")
+    info.Classify.lhs_externals;
+  check indices_t "rhs externals" (Index.list_of_string "dc")
+    info.Classify.rhs_externals;
+  check Alcotest.char "out fvi" 'a' info.Classify.out_fvi;
+  check Alcotest.char "lhs fvi" 'a' info.Classify.lhs_fvi;
+  check Alcotest.char "rhs fvi" 'd' info.Classify.rhs_fvi;
+  check Alcotest.bool "not swapped" false info.Classify.swapped
+
+let test_classify_swap () =
+  (* out FVI 'a' lives in the second input: canonicalization must swap *)
+  let info = analyse "abcd-be-aecd" in
+  check Alcotest.bool "swapped" true info.Classify.swapped;
+  check indices_t "canonical lhs" (Index.list_of_string "aecd")
+    info.Classify.expr.Ast.lhs.Ast.indices;
+  check indices_t "original preserved" (Index.list_of_string "be")
+    info.Classify.original.Ast.lhs.Ast.indices
+
+let test_classify_roles () =
+  let info = analyse "abcd-aebf-dfce" in
+  check Alcotest.bool "a external" true (Classify.role info 'a' = Classify.External);
+  check Alcotest.bool "e internal" true (Classify.role info 'e' = Classify.Internal);
+  match Classify.role info 'z' with
+  | exception Not_found -> ()
+  | _ -> fail "foreign index accepted"
+
+let test_classify_reuse () =
+  let info = analyse "abcd-aebf-dfce" in
+  (* an internal index is a reuse direction for the output *)
+  check Alcotest.bool "e reuses C" true (Classify.reuse_tensor info 'e' = Classify.Out);
+  (* a appears in lhs and out, so it is a reuse direction for the rhs *)
+  check Alcotest.bool "a reuses B" true (Classify.reuse_tensor info 'a' = Classify.Rhs);
+  check Alcotest.bool "d reuses A" true (Classify.reuse_tensor info 'd' = Classify.Lhs)
+
+let test_classify_every_index_in_two_tensors () =
+  (* c appears in all three -> invalid *)
+  (match Classify.analyse (parse_ok "abc-acd-dbc") with
+  | Error _ -> ()
+  | Ok _ -> fail "index in three tensors accepted");
+  (* z appears only in lhs -> invalid *)
+  match Classify.analyse (parse_ok "ab-azc-cb") with
+  | Error _ -> ()
+  | Ok _ -> fail "index in one tensor accepted"
+
+let test_classify_duplicate_in_tensor () =
+  match Classify.analyse (parse_ok "ab-aac-cb") with
+  | Error _ -> ()
+  | Ok _ -> fail "duplicate index within a tensor accepted"
+
+let test_all_indices_order () =
+  let info = analyse "abcd-aebf-dfce" in
+  check indices_t "externals then internals" (Index.list_of_string "abcdef")
+    (Classify.all_indices info)
+
+let classify_accepts_generated =
+  QCheck.Test.make ~count:200 ~name:"generated contractions always classify"
+    Gen.case_arbitrary (fun c ->
+      let info = Problem.info c.Gen.problem in
+      (* the canonical lhs must contain the output FVI *)
+      List.exists (Index.equal info.Classify.out_fvi)
+        info.Classify.expr.Ast.lhs.Ast.indices)
+
+let classify_partition =
+  QCheck.Test.make ~count:200
+    ~name:"externals+internals partition all indices" Gen.case_arbitrary
+    (fun c ->
+      let info = Problem.info c.Gen.problem in
+      let all = Classify.all_indices info in
+      Index.distinct all
+      && List.length all
+         = List.length info.Classify.externals
+           + List.length info.Classify.internals)
+
+(* ---- Sizes ---- *)
+
+let test_sizes_parse () =
+  match Sizes.parse "a=16, b=24 ,c=8" with
+  | Error e -> fail e
+  | Ok s ->
+      check Alcotest.int "a" 16 (Sizes.extent s 'a');
+      check Alcotest.int "b" 24 (Sizes.extent s 'b');
+      check Alcotest.int "product" (16 * 24 * 8)
+        (Sizes.product s [ 'a'; 'b'; 'c' ])
+
+let test_sizes_parse_errors () =
+  let err s = match Sizes.parse s with Error _ -> () | Ok _ -> fail s in
+  err "a=0";
+  err "a=x";
+  err "ab=3";
+  err "a=3,a=4";
+  err "a"
+
+let test_sizes_uniform_covers () =
+  let s = Sizes.uniform [ 'a'; 'b' ] 7 in
+  check Alcotest.bool "covers" true (Sizes.covers s [ 'a'; 'b' ]);
+  check Alcotest.bool "does not cover c" false (Sizes.covers s [ 'c' ])
+
+(* ---- Fuse ---- *)
+
+let fuse_problem =
+  Problem.of_string_exn "abc-abd-dc"
+    ~sizes:[ ('a', 3); ('b', 4); ('c', 5); ('d', 6) ]
+
+let test_fusable_pairs () =
+  (* a,b live in {C, A} and are adjacent in both *)
+  check Alcotest.bool "a,b fusable" true
+    (List.mem ('a', 'b') (Fuse.fusable_pairs fuse_problem));
+  (* c and d live in different tensor pairs *)
+  check Alcotest.bool "c,d not fusable" false
+    (List.mem ('c', 'd') (Fuse.fusable_pairs fuse_problem))
+
+let test_fuse_pair () =
+  match Fuse.fuse_pair fuse_problem ('a', 'b') with
+  | Error e -> fail e
+  | Ok fused ->
+      check Alcotest.int "merged extent" 12 (Problem.extent fused 'a');
+      check Alcotest.bool "b gone" true
+        (not (List.mem 'b' (Classify.all_indices (Problem.info fused))));
+      check (Alcotest.float 1e-6) "same flops" (Problem.flops fuse_problem)
+        (Problem.flops fused)
+
+let test_fuse_pair_rejects () =
+  match Fuse.fuse_pair fuse_problem ('c', 'd') with
+  | Error _ -> ()
+  | Ok _ -> fail "non-fusable pair accepted"
+
+let test_fuse_all_chain () =
+  (* a,b,c all in {C, A}, in the same order: the chain collapses to one *)
+  let p =
+    Problem.of_string_exn "abcd-abce-ed"
+      ~sizes:[ ('a', 2); ('b', 3); ('c', 4); ('d', 5); ('e', 6) ]
+  in
+  let fused, groups = Fuse.fuse_all p in
+  check Alcotest.bool "not identity" false (Fuse.is_identity groups);
+  check Alcotest.int "one group" 1 (List.length groups);
+  let g = List.hd groups in
+  check Alcotest.char "representative a" 'a' g.Fuse.representative;
+  check Alcotest.int "extent 2*3*4" 24 g.Fuse.extent;
+  check Alcotest.int "fused is a GEMM" 2
+    (List.length (Problem.info fused).Classify.externals)
+
+let test_fuse_all_identity () =
+  let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 4); ('b', 4); ('c', 4) ] in
+  let fused, groups = Fuse.fuse_all p in
+  check Alcotest.bool "identity" true (Fuse.is_identity groups);
+  check (Alcotest.float 1e-6) "unchanged" (Problem.flops p) (Problem.flops fused)
+
+(* Fusion is a relabeling of the same memory: contracting reinterpreted
+   tensors yields the bit-identical flat output. *)
+let test_fuse_preserves_memory () =
+  let p = fuse_problem in
+  let fused, _ = Fuse.fuse_all p in
+  let a = Dense.random ~seed:51 (Problem.lhs_shape p) in
+  let b = Dense.random ~seed:52 (Problem.rhs_shape p) in
+  let reinterpret shape t =
+    let out = Dense.create shape in
+    Array.blit (Dense.unsafe_data t) 0 (Dense.unsafe_data out) 0
+      (Dense.numel t);
+    out
+  in
+  let fa = reinterpret (Problem.lhs_shape fused) a in
+  let fb = reinterpret (Problem.rhs_shape fused) b in
+  let orig =
+    Contract_ref.contract
+      ~out_indices:(Problem.info p).Classify.externals a b
+  in
+  let via_fused =
+    Contract_ref.contract
+      ~out_indices:(Problem.info fused).Classify.externals fa fb
+  in
+  check Alcotest.int "same output volume" (Dense.numel orig)
+    (Dense.numel via_fused);
+  let da = Dense.unsafe_data orig and db = Dense.unsafe_data via_fused in
+  check Alcotest.bool "flat outputs identical" true
+    (Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-12) da db)
+
+let fuse_preserves_flops =
+  QCheck.Test.make ~count:100 ~name:"fusion preserves arithmetic work"
+    Gen.case_arbitrary (fun c ->
+      let fused, _ = Fuse.fuse_all c.Gen.problem in
+      Float.abs (Problem.flops fused -. Problem.flops c.Gen.problem) < 0.5)
+
+let fuse_contraction_agrees =
+  QCheck.Test.make ~count:100
+    ~name:"contraction of reinterpreted fused tensors is bit-identical"
+    Gen.case_arbitrary (fun c ->
+      let fused, _ = Fuse.fuse_all c.Gen.problem in
+      let reinterpret shape t =
+        let out = Dense.create shape in
+        Array.blit (Dense.unsafe_data t) 0 (Dense.unsafe_data out) 0
+          (Dense.numel t);
+        out
+      in
+      (* the fused lhs/rhs shapes describe the canonical (possibly swapped)
+         operands; reinterpret accordingly *)
+      let info = Problem.info c.Gen.problem in
+      let a, b =
+        if info.Classify.swapped then (c.Gen.rhs, c.Gen.lhs)
+        else (c.Gen.lhs, c.Gen.rhs)
+      in
+      let fa = reinterpret (Problem.lhs_shape fused) a in
+      let fb = reinterpret (Problem.rhs_shape fused) b in
+      let orig = Gen.reference c in
+      let via =
+        Contract_ref.contract
+          ~out_indices:(Problem.info fused).Classify.externals fa fb
+      in
+      Dense.numel orig = Dense.numel via
+      && Array.for_all2
+           (fun x y -> Float.abs (x -. y) < 1e-12)
+           (Dense.unsafe_data orig) (Dense.unsafe_data via))
+
+(* ---- Split ---- *)
+
+let ttm_problem =
+  Problem.of_string_exn "ab-cad-dcb"
+    ~sizes:[ ('a', 64); ('b', 64); ('c', 16); ('d', 16) ]
+
+let test_split_basic () =
+  match Split.split ttm_problem 'a' ~factor:16 with
+  | Error e -> fail e
+  | Ok (p, slow) ->
+      check Alcotest.int "fast extent" 16 (Problem.extent p 'a');
+      check Alcotest.int "slow extent" 4 (Problem.extent p slow);
+      (* slow index follows a in every tensor containing a *)
+      let info = Problem.info p in
+      let orig = info.Classify.original in
+      let follows indices =
+        let rec go = function
+          | x :: y :: _ when Index.equal x 'a' -> Index.equal y slow
+          | _ :: rest -> go rest
+          | [] -> true
+        in
+        go indices
+      in
+      check Alcotest.bool "adjacent in out" true (follows orig.Ast.out.Ast.indices);
+      check Alcotest.bool "adjacent in lhs" true (follows orig.Ast.lhs.Ast.indices);
+      check (Alcotest.float 1e-6) "same flops" (Problem.flops ttm_problem)
+        (Problem.flops p)
+
+let test_split_rejects () =
+  let err = function Error _ -> () | Ok _ -> fail "bad split accepted" in
+  err (Split.split ttm_problem 'z' ~factor:2);
+  err (Split.split ttm_problem 'a' ~factor:5);
+  (* non-divisor *)
+  err (Split.split ttm_problem 'a' ~factor:1);
+  err (Split.split ttm_problem 'a' ~factor:64)
+
+let test_split_fresh_index () =
+  check Alcotest.bool "fresh letter avoids used ones" true
+    (match Split.fresh_index ttm_problem with
+    | Some i -> not (List.mem i [ 'a'; 'b'; 'c'; 'd' ])
+    | None -> false)
+
+let test_split_auto_ttm () =
+  let p, applied = Split.auto ttm_problem in
+  (* both sides have a single big external: both get split *)
+  check Alcotest.int "two splits" 2 (List.length applied);
+  let info = Problem.info p in
+  check Alcotest.int "lhs now has two externals" 2
+    (List.length info.Classify.lhs_externals);
+  check Alcotest.int "rhs now has two externals" 2
+    (List.length info.Classify.rhs_externals)
+
+let test_split_auto_noop () =
+  (* Eq. 1 has two externals per side already *)
+  let p =
+    Problem.of_string_exn "abcd-aebf-dfce"
+      ~sizes:[ ('a', 48); ('b', 48); ('c', 48); ('d', 48); ('e', 32); ('f', 32) ]
+  in
+  let _, applied = Split.auto p in
+  check Alcotest.int "no split" 0 (List.length applied)
+
+(* splitting is a relabeling of the same memory *)
+let test_split_preserves_memory () =
+  let p = ttm_problem in
+  let sp, _ = Split.auto p in
+  let reinterpret shape t =
+    let out = Dense.create shape in
+    Array.blit (Dense.unsafe_data t) 0 (Dense.unsafe_data out) 0
+      (Dense.numel t);
+    out
+  in
+  let a = Dense.random ~seed:61 (Problem.lhs_shape p) in
+  let b = Dense.random ~seed:62 (Problem.rhs_shape p) in
+  let fa = reinterpret (Problem.lhs_shape sp) a in
+  let fb = reinterpret (Problem.rhs_shape sp) b in
+  let orig =
+    Contract_ref.contract ~out_indices:(Problem.info p).Classify.externals a b
+  in
+  let via =
+    Contract_ref.contract
+      ~out_indices:(Problem.info sp).Classify.externals fa fb
+  in
+  check Alcotest.bool "flat outputs identical" true
+    (Array.for_all2
+       (fun x y -> Float.abs (x -. y) < 1e-12)
+       (Dense.unsafe_data orig) (Dense.unsafe_data via))
+
+(* ---- Problem ---- *)
+
+let test_problem_flops () =
+  let p =
+    Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 3); ('b', 4); ('c', 5) ]
+  in
+  check (Alcotest.float 0.0) "2*m*n*k" (2.0 *. 60.0) (Problem.flops p)
+
+let test_problem_missing_extent () =
+  match Problem.of_string "ab-ac-cb" ~sizes:[ ('a', 3); ('b', 4) ] with
+  | Error _ -> ()
+  | Ok _ -> fail "missing extent accepted"
+
+let test_problem_shapes_canonical () =
+  let p =
+    Problem.of_string_exn "abcd-be-aecd"
+      ~sizes:[ ('a', 2); ('b', 3); ('c', 4); ('d', 5); ('e', 6) ]
+  in
+  (* swapped: canonical lhs is aecd *)
+  check indices_t "lhs shape order" (Index.list_of_string "aecd")
+    (Shape.indices (Problem.lhs_shape p));
+  check Alcotest.int "out elems" (2 * 3 * 4 * 5) (Problem.out_elems p)
+
+let () =
+  Alcotest.run "tc_expr"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "tccg form" `Quick test_parse_tccg;
+          Alcotest.test_case "einstein form" `Quick test_parse_einstein;
+          Alcotest.test_case "einstein without commas" `Quick
+            test_parse_einstein_no_commas;
+          Alcotest.test_case "whitespace and semicolon" `Quick
+            test_parse_whitespace_and_semicolon;
+          Alcotest.test_case "syntaxes agree" `Quick test_parse_equivalence;
+          Alcotest.test_case "tccg roundtrip" `Quick test_tccg_roundtrip;
+          Alcotest.test_case "rejects malformed input" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "Eq. 1 analysis" `Quick test_classify_eq1;
+          Alcotest.test_case "lhs/rhs canonicalization swap" `Quick
+            test_classify_swap;
+          Alcotest.test_case "roles" `Quick test_classify_roles;
+          Alcotest.test_case "reuse tensor property (§II)" `Quick
+            test_classify_reuse;
+          Alcotest.test_case "two-of-three occurrence rule" `Quick
+            test_classify_every_index_in_two_tensors;
+          Alcotest.test_case "duplicate within a tensor" `Quick
+            test_classify_duplicate_in_tensor;
+          Alcotest.test_case "all_indices order" `Quick test_all_indices_order;
+          Gen.to_alcotest classify_accepts_generated;
+          Gen.to_alcotest classify_partition;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "parse" `Quick test_sizes_parse;
+          Alcotest.test_case "parse errors" `Quick test_sizes_parse_errors;
+          Alcotest.test_case "uniform/covers" `Quick test_sizes_uniform_covers;
+        ] );
+      ( "fuse",
+        [
+          Alcotest.test_case "fusable pairs" `Quick test_fusable_pairs;
+          Alcotest.test_case "fuse one pair" `Quick test_fuse_pair;
+          Alcotest.test_case "rejects non-fusable" `Quick test_fuse_pair_rejects;
+          Alcotest.test_case "chain fusion" `Quick test_fuse_all_chain;
+          Alcotest.test_case "identity fusion" `Quick test_fuse_all_identity;
+          Alcotest.test_case "fusion preserves memory" `Quick
+            test_fuse_preserves_memory;
+          Gen.to_alcotest fuse_preserves_flops;
+          Gen.to_alcotest fuse_contraction_agrees;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "basic split" `Quick test_split_basic;
+          Alcotest.test_case "rejects bad splits" `Quick test_split_rejects;
+          Alcotest.test_case "fresh index" `Quick test_split_fresh_index;
+          Alcotest.test_case "auto on TTM" `Quick test_split_auto_ttm;
+          Alcotest.test_case "auto no-op on Eq. 1" `Quick test_split_auto_noop;
+          Alcotest.test_case "split preserves memory" `Quick
+            test_split_preserves_memory;
+        ] );
+      ( "problem",
+        [
+          Alcotest.test_case "flops" `Quick test_problem_flops;
+          Alcotest.test_case "missing extent" `Quick test_problem_missing_extent;
+          Alcotest.test_case "canonical shapes" `Quick
+            test_problem_shapes_canonical;
+        ] );
+    ]

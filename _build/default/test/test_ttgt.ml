@@ -1,0 +1,303 @@
+open Tc_tensor
+open Tc_gpu
+open Tc_expr
+open Tc_ttgt
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let sizes6 = [ ('a', 5); ('b', 4); ('c', 3); ('d', 6); ('e', 2); ('f', 3) ]
+
+(* ---- transpose model ---- *)
+
+let test_transpose_identity_free () =
+  let sizes = Index.Map.of_seq (List.to_seq [ ('a', 64); ('b', 64) ]) in
+  let r =
+    Transpose_model.run Arch.v100 Precision.FP64 ~sizes ~src:[ 'a'; 'b' ]
+      ~dst:[ 'a'; 'b' ]
+  in
+  check Alcotest.bool "identity" true r.Transpose_model.identity;
+  check (Alcotest.float 0.0) "free" 0.0 r.Transpose_model.time_s
+
+let test_transpose_reads_and_writes_once () =
+  let sizes = Index.Map.of_seq (List.to_seq [ ('a', 64); ('b', 64) ]) in
+  let r =
+    Transpose_model.run Arch.v100 Precision.FP64 ~sizes ~src:[ 'a'; 'b' ]
+      ~dst:[ 'b'; 'a' ]
+  in
+  check (Alcotest.float 1.0) "2 * elems * 8 bytes"
+    (2.0 *. 4096.0 *. 8.0)
+    r.Transpose_model.bytes
+
+let test_transpose_small_fvi_slower () =
+  let mk fvi_extent =
+    let sizes =
+      Index.Map.of_seq (List.to_seq [ ('a', fvi_extent); ('b', 4096 / fvi_extent) ])
+    in
+    (Transpose_model.run Arch.v100 Precision.FP64 ~sizes ~src:[ 'a'; 'b' ]
+       ~dst:[ 'b'; 'a' ])
+      .Transpose_model.efficiency
+  in
+  check Alcotest.bool "extent-4 FVI less efficient than extent-64" true
+    (mk 4 < mk 64)
+
+let test_transpose_rejects_non_permutation () =
+  let sizes = Index.Map.of_seq (List.to_seq [ ('a', 8); ('b', 8) ]) in
+  match
+    Transpose_model.run Arch.v100 Precision.FP64 ~sizes ~src:[ 'a'; 'b' ]
+      ~dst:[ 'a'; 'c' ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-permutation accepted"
+
+(* ---- GEMM model ---- *)
+
+let test_gemm_large_square_near_peak () =
+  let r = Gemm_model.run Arch.v100 Precision.FP64 ~m:8192 ~n:8192 ~k:8192 in
+  check Alcotest.bool "at least 70% of peak" true
+    (r.Gemm_model.gflops > 0.7 *. Arch.peak_gflops Arch.v100 Precision.FP64);
+  check Alcotest.bool "below peak" true
+    (r.Gemm_model.gflops < Arch.peak_gflops Arch.v100 Precision.FP64)
+
+let test_gemm_small_k_inefficient () =
+  let big = Gemm_model.run Arch.v100 Precision.FP64 ~m:8192 ~n:8192 ~k:2048 in
+  let small = Gemm_model.run Arch.v100 Precision.FP64 ~m:8192 ~n:8192 ~k:16 in
+  check Alcotest.bool "skinny K much slower" true
+    (small.Gemm_model.gflops < big.Gemm_model.gflops /. 2.0)
+
+let test_gemm_skinny_n_inefficient () =
+  let sq = Gemm_model.run Arch.v100 Precision.FP64 ~m:4096 ~n:4096 ~k:1024 in
+  let sk = Gemm_model.run Arch.v100 Precision.FP64 ~m:4096 ~n:32 ~k:1024 in
+  check Alcotest.bool "skinny N slower" true
+    (sk.Gemm_model.gflops < sq.Gemm_model.gflops)
+
+let test_gemm_rejects_empty () =
+  match Gemm_model.run Arch.v100 Precision.FP64 ~m:0 ~n:4 ~k:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "empty GEMM accepted"
+
+(* ---- TTGT planner ---- *)
+
+let test_plan_eq1_dimensions () =
+  let p =
+    Problem.of_string_exn "abcd-aebf-dfce"
+      ~sizes:[ ('a', 8); ('b', 7); ('c', 6); ('d', 5); ('e', 4); ('f', 3) ]
+  in
+  let t = Ttgt.plan p in
+  check Alcotest.int "m = Na*Nb" (8 * 7) t.Ttgt.m;
+  check Alcotest.int "n = Nd*Nc" (5 * 6) t.Ttgt.n;
+  check Alcotest.int "k = Ne*Nf" (4 * 3) t.Ttgt.k
+
+let test_plan_gemm_compatible_no_permutes () =
+  (* abcd-efab-cdef: A = [K@M], B = [N@K], C = [M@N]: zero permutes even in
+     the faithful lowering *)
+  let p =
+    Problem.of_string_exn "abcd-efab-cdef"
+      ~sizes:[ ('a', 4); ('b', 4); ('c', 4); ('d', 4); ('e', 4); ('f', 4) ]
+  in
+  let t = Ttgt.plan p in
+  check Alcotest.int "no permutes" 0 (List.length t.Ttgt.permutes)
+
+let test_plan_faithful_always_permutes_output_when_needed () =
+  let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
+  let t = Ttgt.plan p in
+  check Alcotest.bool "has a C permute" true
+    (List.exists (fun s -> s.Ttgt.operand = "C") t.Ttgt.permutes)
+
+let test_optimized_plan_not_worse () =
+  List.iter
+    (fun expr ->
+      let p = Problem.of_string_exn expr ~sizes:sizes6 in
+      let faithful = Ttgt.estimate Arch.v100 Precision.FP64 (Ttgt.plan p) in
+      let optimized =
+        Ttgt.estimate Arch.v100 Precision.FP64 (Ttgt.plan ~optimize:true p)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "optimize does not hurt on %s" expr)
+        true
+        (optimized.Ttgt.time_s <= faithful.Ttgt.time_s +. 1e-12))
+    [ "abcd-aebf-dfce"; "abcd-efab-cdef"; "abcd-be-aecd"; "ab-ac-cb" ]
+
+let test_estimate_components () =
+  let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
+  let e = Ttgt.run Arch.v100 Precision.FP64 p in
+  check Alcotest.bool "time >= gemm + transposes" true
+    (e.Ttgt.time_s >= e.Ttgt.gemm_time_s +. e.Ttgt.transpose_time_s);
+  check Alcotest.bool "positive gflops" true (e.Ttgt.gflops > 0.0)
+
+(* ---- transpose kernel generation ---- *)
+
+let syntax_check source =
+  (* same g++ shim trick as test_compile *)
+  let shim =
+    "#define __global__\n#define __shared__ static\n#define __restrict__      __restrict\nstruct shim_dim3 { unsigned x, y, z; };\nstatic shim_dim3      threadIdx, blockIdx, blockDim, gridDim;\nstatic inline void      __syncthreads() {}\n"
+  in
+  if Sys.command "g++ --version > /dev/null 2>&1" <> 0 then true
+  else begin
+    let file = Filename.temp_file "cogent_transpose" ".cpp" in
+    let oc = open_out file in
+    output_string oc shim;
+    output_string oc source;
+    close_out oc;
+    let ok =
+      Sys.command
+        (Printf.sprintf "g++ -x c++ -std=c++11 -fsyntax-only %s > /dev/null 2>&1"
+           (Filename.quote file))
+      = 0
+    in
+    Sys.remove file;
+    ok
+  end
+
+let test_transpose_gen_schema_choice () =
+  check Alcotest.bool "FVI change -> tiled" true
+    (Transpose_gen.uses_tiled_schema ~src:[ 'a'; 'b' ] ~dst:[ 'b'; 'a' ]);
+  check Alcotest.bool "FVI kept -> packed" false
+    (Transpose_gen.uses_tiled_schema ~src:[ 'a'; 'b'; 'c' ]
+       ~dst:[ 'a'; 'c'; 'b' ])
+
+let test_transpose_gen_rejects () =
+  (match
+     Transpose_gen.emit_kernel ~precision:Precision.FP64 ~src:[ 'a'; 'b' ]
+       ~dst:[ 'a'; 'b' ]
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "identity accepted");
+  match
+    Transpose_gen.emit_kernel ~precision:Precision.FP64 ~src:[ 'a'; 'b' ]
+      ~dst:[ 'a'; 'c' ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "non-permutation accepted"
+
+let test_transpose_gen_tiled_structure () =
+  let src =
+    Transpose_gen.emit_kernel ~precision:Precision.FP64
+      ~src:(Index.list_of_string "aebf") ~dst:(Index.list_of_string "ebaf")
+  in
+  let has needle =
+    let ln = String.length needle and ls = String.length src in
+    let rec go i = i + ln <= ls && (String.sub src i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "padded tile" true (has "tile_s[32][33]");
+  check Alcotest.bool "sync" true (has "__syncthreads();");
+  check Alcotest.bool "guards" true (has "base_a + tx < N_a")
+
+let test_transpose_gen_kernels_compile () =
+  List.iter
+    (fun (src, dst) ->
+      let cu =
+        Transpose_gen.emit_kernel ~precision:Precision.FP64
+          ~src:(Index.list_of_string src) ~dst:(Index.list_of_string dst)
+      in
+      check Alcotest.bool
+        (Printf.sprintf "%s->%s compiles" src dst)
+        true (syntax_check cu))
+    [
+      ("ab", "ba");
+      ("aebf", "abef");
+      ("abcdef", "dabcef");
+      ("abc", "acb") (* packed *);
+      ("gdab", "abdg");
+    ]
+
+let test_emit_cuda_pipeline () =
+  let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
+  let t = Ttgt.plan p in
+  let src = Ttgt.emit_cuda Precision.FP64 t in
+  let has needle =
+    let ln = String.length needle and ls = String.length src in
+    let rec go i = i + ln <= ls && (String.sub src i ln = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "mentions cublasDgemm" true (has "cublasDgemm");
+  check Alcotest.bool "one kernel per permute" true
+    (List.for_all
+       (fun pm ->
+         has
+           (Transpose_gen.kernel_name ~src:pm.Ttgt.src ~dst:pm.Ttgt.dst))
+       t.Ttgt.permutes)
+
+(* ---- functional execution ---- *)
+
+let test_execute_eq1 () =
+  let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
+  let a = Dense.random ~seed:21 (Problem.lhs_shape p) in
+  let bt = Dense.random ~seed:22 (Problem.rhs_shape p) in
+  let expected = Contract_ref.contract ~out_indices:[ 'a'; 'b'; 'c'; 'd' ] a bt in
+  let got = Ttgt.execute p ~lhs:a ~rhs:bt in
+  check Alcotest.bool "ttgt == reference" true
+    (Dense.equal_approx ~tol:1e-9 expected got)
+
+let ttgt_matches_reference =
+  QCheck.Test.make ~count:120 ~name:"ttgt execute == reference"
+    Gen.case_arbitrary (fun c ->
+      let got = Ttgt.execute c.Gen.problem ~lhs:c.Gen.lhs ~rhs:c.Gen.rhs in
+      Dense.equal_approx ~tol:1e-9 (Gen.reference c) got)
+
+let ttgt_optimized_matches_reference =
+  QCheck.Test.make ~count:60 ~name:"optimized ttgt execute == reference"
+    Gen.case_arbitrary (fun c ->
+      let got =
+        Ttgt.execute ~optimize:true c.Gen.problem ~lhs:c.Gen.lhs ~rhs:c.Gen.rhs
+      in
+      Dense.equal_approx ~tol:1e-9 (Gen.reference c) got)
+
+let () =
+  Alcotest.run "ttgt"
+    [
+      ( "transpose model",
+        [
+          Alcotest.test_case "identity is free" `Quick
+            test_transpose_identity_free;
+          Alcotest.test_case "bytes = 2 * data" `Quick
+            test_transpose_reads_and_writes_once;
+          Alcotest.test_case "small FVI penalized" `Quick
+            test_transpose_small_fvi_slower;
+          Alcotest.test_case "rejects non-permutation" `Quick
+            test_transpose_rejects_non_permutation;
+        ] );
+      ( "gemm model",
+        [
+          Alcotest.test_case "large square near peak" `Quick
+            test_gemm_large_square_near_peak;
+          Alcotest.test_case "small K inefficient" `Quick
+            test_gemm_small_k_inefficient;
+          Alcotest.test_case "skinny N inefficient" `Quick
+            test_gemm_skinny_n_inefficient;
+          Alcotest.test_case "rejects empty" `Quick test_gemm_rejects_empty;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "Eq. 1 GEMM dimensions" `Quick
+            test_plan_eq1_dimensions;
+          Alcotest.test_case "GEMM-compatible layouts need no permutes" `Quick
+            test_plan_gemm_compatible_no_permutes;
+          Alcotest.test_case "output permute when layouts differ" `Quick
+            test_plan_faithful_always_permutes_output_when_needed;
+          Alcotest.test_case "optimized never worse" `Quick
+            test_optimized_plan_not_worse;
+          Alcotest.test_case "estimate components" `Quick
+            test_estimate_components;
+          Alcotest.test_case "emit CUDA pipeline" `Quick
+            test_emit_cuda_pipeline;
+        ] );
+      ( "transpose codegen",
+        [
+          Alcotest.test_case "schema choice" `Quick
+            test_transpose_gen_schema_choice;
+          Alcotest.test_case "rejects identity/non-permutation" `Quick
+            test_transpose_gen_rejects;
+          Alcotest.test_case "tiled structure" `Quick
+            test_transpose_gen_tiled_structure;
+          Alcotest.test_case "kernels compile (g++ shim)" `Slow
+            test_transpose_gen_kernels_compile;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "Eq. 1 functional" `Quick test_execute_eq1;
+          Gen.to_alcotest ttgt_matches_reference;
+          Gen.to_alcotest ttgt_optimized_matches_reference;
+        ] );
+    ]
