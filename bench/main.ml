@@ -17,17 +17,41 @@ let targets =
     ("micro", Micro.run);
   ]
 
+(* Each target runs under a span so the harness can report where the time
+   went; the pipeline's own counters (plan-cache hits, prune rejections,
+   generations) accumulate in [Tc_obs.Metrics.global] as a side effect. *)
+let timed name f =
+  Tc_obs.Trace.with_span ~cat:"bench" name f;
+  Tc_obs.Metrics.incr (Tc_obs.Metrics.counter "bench.targets_run")
+
+let harness_report trace =
+  Report.section "Harness report (wall time per target, pipeline metrics)";
+  List.iter
+    (fun ev ->
+      match ev with
+      | Tc_obs.Trace.Span { name; dur_us; depth = 0; _ } ->
+          Printf.printf "  %-12s %8.2f s\n" name (dur_us /. 1e6)
+      | _ -> ())
+    (Tc_obs.Trace.events trace);
+  print_newline ();
+  Format.printf "%a@." Tc_obs.Metrics.pp
+    (Tc_obs.Metrics.snapshot Tc_obs.Metrics.global)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [] -> List.iter (fun (_, f) -> f ()) targets
+  let trace = Tc_obs.Trace.make () in
+  Tc_obs.Trace.install trace;
+  (match args with
+  | [] -> List.iter (fun (name, f) -> timed name f) targets
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name targets with
-          | Some f -> f ()
+          | Some f -> timed name f
           | None ->
               Printf.eprintf "unknown target %S; available: %s\n" name
                 (String.concat ", " (List.map fst targets));
               exit 1)
-        names
+        names);
+  Tc_obs.Trace.uninstall ();
+  harness_report trace

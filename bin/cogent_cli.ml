@@ -1,21 +1,29 @@
 (* cogent — command-line front end of the code generator.
 
    Subcommands:
-     gen    emit CUDA for a contraction at a representative size
-     plan   show the top-ranked configurations with model cost and
-            simulated performance
-     bench  compare COGENT / NWChem-style / TAL_SH-style strategies on one
-            contraction or a TCCG suite entry
-     suite  list the TCCG benchmark entries
+     gen      emit CUDA for a contraction at a representative size
+     plan     show the top-ranked configurations with model cost and
+              simulated performance
+     explain  itemized cost-model breakdown: prune audit, per-tensor DRAM
+              charges, occupancy limiter, simulator roofline
+     bench    compare COGENT / NWChem-style / TAL_SH-style strategies on one
+              contraction or a TCCG suite entry
+     suite    list the TCCG benchmark entries
+
+   Every subcommand accepts --trace FILE to record a pipeline trace as
+   Chrome trace_event JSON (load in chrome://tracing or Perfetto).
 
    Examples:
      cogent gen  -e abcd-aebf-dfce -s a=48,b=48,c=48,d=48,e=32,f=32
      cogent plan -e "C[a,b] = A[a,k] * B[k,b]" -s a=1024,b=1024,k=512 -n 10
-     cogent bench --entry sd2_1 --arch p100 *)
+     cogent explain "C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]" -s a=48,b=48,c=48,d=48,e=32,f=32
+     cogent bench --entry sd2_1 --arch p100 --trace sd2_1.trace.json *)
 
 open Cmdliner
 open Tc_gpu
 open Tc_expr
+
+let version = "1.0.0"
 
 let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
 
@@ -61,6 +69,11 @@ let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Write the generated CUDA to $(docv) instead of stdout.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a pipeline trace and write it to $(docv) as Chrome \
+               trace_event JSON (chrome://tracing, Perfetto).")
+
 let resolve_problem expr sizes entry =
   match (entry, expr, sizes) with
   | Some name, None, None -> (
@@ -83,10 +96,40 @@ let or_die = function
       prerr_endline ("cogent: " ^ m);
       exit 2
 
+(* Run the body of a subcommand with error hardening (failures land on
+   stderr with a nonzero exit, never a backtrace) and optional tracing. *)
+let harness trace f =
+  let traced () =
+    match trace with
+    | None -> f ()
+    | Some path ->
+        let t = Tc_obs.Trace.make () in
+        Fun.protect
+          ~finally:(fun () ->
+            Tc_obs.Export.write_chrome ~path (Tc_obs.Trace.events t);
+            Printf.eprintf "cogent: wrote trace to %s\n%!" path)
+          (fun () -> Tc_obs.Trace.with_installed t f)
+  in
+  let message = function
+    | Sys_error m | Invalid_argument m | Failure m -> Some m
+    | _ -> None
+  in
+  match traced () with
+  | v -> v
+  | exception e -> (
+      (* A failing trace write surfaces wrapped by [Fun.protect]. *)
+      let e = match e with Fun.Finally_raised e' -> e' | e -> e in
+      match message e with
+      | Some m ->
+          prerr_endline ("cogent: " ^ m);
+          exit 1
+      | None -> raise e)
+
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run expr sizes entry arch precision output standalone opencl =
+  let run trace expr sizes entry arch precision output standalone opencl =
+    harness trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
       or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
@@ -113,14 +156,16 @@ let gen_cmd =
            ~doc:"Emit an OpenCL kernel (.cl) instead of CUDA.")
   in
   Cmd.v
-    (Cmd.info "gen" ~doc:"Generate CUDA (or OpenCL) for a tensor contraction")
-    Term.(const run $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+    (Cmd.info "gen" ~version
+       ~doc:"Generate CUDA (or OpenCL) for a tensor contraction")
+    Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
           $ precision_arg $ output_arg $ standalone $ opencl)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run expr sizes entry arch precision top =
+  let run trace expr sizes entry arch precision top =
+    harness trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
       or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
@@ -146,14 +191,47 @@ let plan_cmd =
            ~doc:"How many configurations to display.")
   in
   Cmd.v
-    (Cmd.info "plan" ~doc:"Inspect the configuration search for a contraction")
-    Term.(const run $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+    (Cmd.info "plan" ~version
+       ~doc:"Inspect the configuration search for a contraction")
+    Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
           $ precision_arg $ top)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let run trace pos_expr expr sizes entry arch precision top json =
+    harness trace @@ fun () ->
+    let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
+    let problem = or_die (resolve_problem expr sizes entry) in
+    let e = or_die (Tc_explain.Explain.analyze ~arch ~precision ~top problem) in
+    if json then
+      print_endline (Tc_obs.Json.to_string_pretty (Tc_explain.Explain.to_json e))
+    else print_string (Tc_explain.Explain.render e)
+  in
+  let pos_expr =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPR"
+           ~doc:"The contraction (alternative to --expr).")
+  in
+  let top =
+    Arg.(value & opt int 3 & info [ "n"; "top" ] ~docv:"N"
+           ~doc:"How many candidates to break down.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the breakdown as JSON instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~version
+       ~doc:"Explain the cost model's choice: prune audit, per-tensor DRAM \
+             charges, occupancy limiter, simulator roofline")
+    Term.(const run $ trace_arg $ pos_expr $ expr_arg $ sizes_arg $ entry_arg
+          $ arch_arg $ precision_arg $ top $ json)
 
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run expr sizes entry arch precision =
+  let run trace expr sizes entry arch precision =
+    harness trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let cg =
       simulate (Cogent.Driver.best_plan ~arch ~precision ~measure:simulate problem)
@@ -167,14 +245,16 @@ let bench_cmd =
     Format.printf "  TAL_SH-style  %8.0f GFLOPS  (%.2fx)@." ts (cg /. ts)
   in
   Cmd.v
-    (Cmd.info "bench" ~doc:"Compare execution strategies on one contraction")
-    Term.(const run $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+    (Cmd.info "bench" ~version
+       ~doc:"Compare execution strategies on one contraction")
+    Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
           $ precision_arg)
 
 (* ---- triples ---- *)
 
 let triples_cmd =
-  let run arch nh np =
+  let run trace arch nh np =
+    harness trace @@ fun () ->
     Format.printf
       "CCSD(T) triples sweep estimate at nh=%d, np=%d on %s (FP64):@." nh np
       arch.Arch.name;
@@ -201,9 +281,9 @@ let triples_cmd =
            ~doc:"Virtual orbitals (d,e,f extents).")
   in
   Cmd.v
-    (Cmd.info "triples"
+    (Cmd.info "triples" ~version
        ~doc:"Estimate a CCSD(T) triples sweep; compute E(T) at toy sizes")
-    Term.(const run $ arch_arg $ nh $ np)
+    Term.(const run $ trace_arg $ arch_arg $ nh $ np)
 
 (* ---- suite ---- *)
 
@@ -223,12 +303,12 @@ let suite_cmd =
                 e.Tc_tccg.Suite.sizes)))
       Tc_tccg.Suite.all
   in
-  Cmd.v (Cmd.info "suite" ~doc:"List the TCCG benchmark entries")
+  Cmd.v (Cmd.info "suite" ~version ~doc:"List the TCCG benchmark entries")
     Term.(const run $ const ())
 
 let main =
   let doc = "COGENT: a code generator for high-performance tensor contractions on GPUs" in
-  Cmd.group (Cmd.info "cogent" ~version:"1.0.0" ~doc)
-    [ gen_cmd; plan_cmd; bench_cmd; triples_cmd; suite_cmd ]
+  Cmd.group (Cmd.info "cogent" ~version ~doc)
+    [ gen_cmd; plan_cmd; explain_cmd; bench_cmd; triples_cmd; suite_cmd ]
 
 let () = exit (Cmd.eval main)

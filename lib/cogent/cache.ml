@@ -30,15 +30,28 @@ let key ?(arch = Arch.v100) ?(precision = Precision.FP64) problem =
     (Precision.to_string precision)
     (size_class problem)
 
+let hit_counter () = Tc_obs.Metrics.counter "cogent.cache.hits"
+let miss_counter () = Tc_obs.Metrics.counter "cogent.cache.misses"
+
 let find_or_generate t ?arch ?precision ?measure problem =
   let k = key ?arch ?precision problem in
   match Hashtbl.find_opt t.table k with
   | Some r ->
       t.hits <- t.hits + 1;
+      Tc_obs.Metrics.incr (hit_counter ());
+      Tc_obs.Trace.instant "cache.hit"
+        ~args:[ ("key", Tc_obs.Trace.String k) ];
       r
   | None ->
       t.misses <- t.misses + 1;
-      let r = Driver.generate_exn ?arch ?precision ?measure problem in
+      Tc_obs.Metrics.incr (miss_counter ());
+      Tc_obs.Trace.instant "cache.miss"
+        ~args:[ ("key", Tc_obs.Trace.String k) ];
+      let r =
+        Tc_obs.Trace.with_span "cache.generate"
+          ~args:[ ("key", Tc_obs.Trace.String k) ]
+          (fun () -> Driver.generate_exn ?arch ?precision ?measure problem)
+      in
       Hashtbl.add t.table k r;
       r
 

@@ -87,6 +87,79 @@ let total prec problem mapping =
 
 let bytes_moved prec problem mapping = 128.0 *. total prec problem mapping
 
+type tensor_charge = {
+  tensor : string;
+  transactions : float;
+  bytes : float;
+  run : int;
+  coalescing : float;
+}
+
+type explanation = {
+  charges : tensor_charge list;
+  total_transactions : float;
+  total_bytes : float;
+  steps : int;
+  blocks : int;
+  ept : int;
+}
+
+let explain prec problem mapping =
+  let info = Problem.info problem in
+  let ept = Precision.elems_per_transaction prec in
+  let b = transactions prec problem mapping in
+  let charge tensor indices total_tx =
+    let elems = tile_elems problem mapping indices in
+    let run = contiguous_run problem mapping indices in
+    (* Ideal = the fully coalesced sweep over the same tile volume; the
+       ratio to the charged count is the model's coalescing efficiency. *)
+    let per_tile_actual =
+      let width = Mapping.size_tbx mapping * Mapping.size_tby mapping in
+      let rows = ceil_div elems (max 1 width) in
+      let width = min width elems in
+      rows * sweep_transactions ~width ~run ~ept
+    in
+    let per_tile_ideal = ceil_div elems ept in
+    {
+      tensor;
+      transactions = total_tx;
+      bytes = 128.0 *. total_tx;
+      run;
+      coalescing =
+        float_of_int per_tile_ideal /. float_of_int (max 1 per_tile_actual);
+    }
+  in
+  let out_charge =
+    let indices = info.Classify.externals in
+    let elems = tile_elems problem mapping indices in
+    let run = store_run problem mapping in
+    let width = Mapping.size_tbx mapping * Mapping.size_tby mapping in
+    let sweeps = Mapping.size_regx mapping * Mapping.size_regy mapping in
+    let per_tile_actual = sweeps * sweep_transactions ~width ~run ~ept in
+    let per_tile_ideal = ceil_div elems ept in
+    {
+      tensor = "C";
+      transactions = b.out;
+      bytes = 128.0 *. b.out;
+      run;
+      coalescing =
+        float_of_int per_tile_ideal /. float_of_int (max 1 per_tile_actual);
+    }
+  in
+  {
+    charges =
+      [
+        charge "A" info.Classify.expr.Ast.lhs.Ast.indices b.lhs;
+        charge "B" info.Classify.expr.Ast.rhs.Ast.indices b.rhs;
+        out_charge;
+      ];
+    total_transactions = b.lhs +. b.rhs +. b.out;
+    total_bytes = 128.0 *. (b.lhs +. b.rhs +. b.out);
+    steps = Mapping.num_steps problem mapping;
+    blocks = Mapping.num_blocks problem mapping;
+    ept;
+  }
+
 let rank prec problem mappings =
   let scored = List.map (fun m -> (m, total prec problem m)) mappings in
   List.sort

@@ -34,6 +34,30 @@ val total : Precision.t -> Problem.t -> Mapping.t -> float
 val bytes_moved : Precision.t -> Problem.t -> Mapping.t -> float
 (** [total * 128]. *)
 
+type tensor_charge = {
+  tensor : string;  (** ["A"], ["B"] or ["C"] *)
+  transactions : float;  (** what the model charged over the whole kernel *)
+  bytes : float;  (** [transactions * 128] *)
+  run : int;  (** contiguous-run length inside one staged tile *)
+  coalescing : float;
+      (** fully-coalesced transactions over charged transactions for one
+          tile, in (0, 1]; 1.0 = every transaction fully utilized *)
+}
+
+type explanation = {
+  charges : tensor_charge list;  (** A, B, C in that order *)
+  total_transactions : float;
+  total_bytes : float;
+  steps : int;
+  blocks : int;
+  ept : int;  (** elements per 128-byte transaction at this precision *)
+}
+
+val explain : Precision.t -> Problem.t -> Mapping.t -> explanation
+(** Itemized Algorithm-3 charge sheet for one configuration: where the
+    model thinks the DRAM traffic goes and how efficient each tensor's
+    access pattern is.  [total_transactions] equals {!total} exactly. *)
+
 val rank :
   Precision.t -> Problem.t -> Mapping.t list -> (Mapping.t * float) list
 (** Configurations sorted by ascending cost; ties broken deterministically

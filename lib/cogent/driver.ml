@@ -15,13 +15,28 @@ type measure = Plan.t -> float
 
 let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
     ?(refine = 8) ?measure problem =
-  let configs = Enumerate.enumerate problem in
+  let open Tc_obs in
+  Trace.with_span "driver.generate"
+    ~args:
+      [
+        ("problem", Trace.String (Format.asprintf "%a" Tc_expr.Problem.pp problem));
+        ("arch", Trace.String arch.Arch.name);
+        ("precision", Trace.String (Precision.to_string precision));
+      ]
+  @@ fun () ->
+  Metrics.incr (Metrics.counter "cogent.driver.generations");
+  let configs =
+    Trace.with_span "driver.enumerate" (fun () -> Enumerate.enumerate problem)
+  in
   let kept, prune_stats = Prune.filter arch precision problem configs in
   Log.debug (fun m ->
       m "%a: enumerated %d, kept %d%s" Tc_expr.Problem.pp problem
         prune_stats.Prune.enumerated prune_stats.Prune.kept
         (if prune_stats.Prune.relaxed then " (relaxed)" else ""));
-  match Cost.rank precision problem kept with
+  match
+    Trace.with_span "driver.cost_rank" (fun () ->
+        Cost.rank precision problem kept)
+  with
   | [] -> Error "no hardware-feasible configuration for this contraction"
   | (top, _) :: _ as ranked ->
       let plan_of mapping = Plan.make ~problem ~mapping ~arch ~precision in
@@ -34,6 +49,9 @@ let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
             let candidates =
               List.filteri (fun k _ -> k < max 1 refine) ranked
             in
+            Trace.with_span "driver.refine"
+              ~args:[ ("candidates", Trace.Int (List.length candidates)) ]
+            @@ fun () ->
             let best, _ =
               List.fold_left
                 (fun (bp, bg) (m, _) ->
@@ -48,6 +66,11 @@ let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
       Log.info (fun m ->
           m "selected %a (cost %.3e)" Mapping.pp plan.Plan.mapping
             plan.Plan.cost);
+      Trace.add_args
+        [
+          ("kept", Trace.Int prune_stats.Prune.kept);
+          ("selected_cost", Trace.Float plan.Plan.cost);
+        ];
       Ok
         {
           plan;
@@ -56,27 +79,36 @@ let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
           naive_space = Enumerate.naive_space_size problem;
         }
 
-let generate ?arch ?precision ?refine ?measure ?(auto_split = false) problem =
-  let base = generate_one ?arch ?precision ?refine ?measure problem in
-  if not auto_split then base
-  else
-    match (Tc_expr.Split.auto problem, measure, base) with
-    | (split_problem, _ :: _), Some run, Ok base_t -> (
-        match
-          generate_one ?arch ?precision ?refine ~measure:run split_problem
-        with
-        | Error _ -> base
-        | Ok split_t ->
-            if run split_t.plan > run base_t.plan then Ok split_t else base)
-    | _ -> base
+let generate ?arch ?precision ?refine ?measure ?(auto_split = false) ?trace
+    problem =
+  let body () =
+    let base = generate_one ?arch ?precision ?refine ?measure problem in
+    if not auto_split then base
+    else
+      match (Tc_expr.Split.auto problem, measure, base) with
+      | (split_problem, _ :: _), Some run, Ok base_t -> (
+          match
+            generate_one ?arch ?precision ?refine ~measure:run split_problem
+          with
+          | Error _ -> base
+          | Ok split_t ->
+              if run split_t.plan > run base_t.plan then Ok split_t else base)
+      | _ -> base
+  in
+  match trace with
+  | None -> body ()
+  | Some t -> Tc_obs.Trace.with_installed t body
 
-let generate_exn ?arch ?precision ?refine ?measure ?auto_split problem =
-  match generate ?arch ?precision ?refine ?measure ?auto_split problem with
+let generate_exn ?arch ?precision ?refine ?measure ?auto_split ?trace problem =
+  match
+    generate ?arch ?precision ?refine ?measure ?auto_split ?trace problem
+  with
   | Ok t -> t
   | Error e -> invalid_arg ("Driver.generate: " ^ e)
 
-let best_plan ?arch ?precision ?refine ?measure ?auto_split problem =
-  (generate_exn ?arch ?precision ?refine ?measure ?auto_split problem).plan
+let best_plan ?arch ?precision ?refine ?measure ?auto_split ?trace problem =
+  (generate_exn ?arch ?precision ?refine ?measure ?auto_split ?trace problem)
+    .plan
 
 let cuda_source t = Codegen.emit t.plan
 

@@ -22,7 +22,8 @@ type measure = Plan.t -> float
 
 val generate :
   ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?auto_split:bool -> Problem.t -> (t, string) result
+  -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t
+  -> (t, string) result
 (** Defaults: V100, FP64.  Per the paper's methodology, the model ranks the
     pruned space and the top [refine] candidates (default 8) are then
     benchmarked with [measure] to select the final kernel; [refine:1]
@@ -35,15 +36,22 @@ val generate :
     rewriting of register-starved contractions (an extension §IV names) and
     keeps whichever variant [measure] scores higher — splitting is a pure
     relabeling of the same memory, so the winning plan's kernel applies to
-    the original data unchanged. *)
+    the original data unchanged.
+
+    [trace] installs the given {!Tc_obs.Trace} context for the duration of
+    the call (restoring any previous one), so every pipeline stage —
+    enumeration, pruning, cost ranking, measured refinement, and anything
+    they call — records spans into it.  Without [trace] (and with no
+    ambient context installed) instrumentation is inert and the result is
+    identical. *)
 
 val generate_exn :
   ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?auto_split:bool -> Problem.t -> t
+  -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t -> t
 
 val best_plan :
   ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?auto_split:bool -> Problem.t -> Plan.t
+  -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t -> Plan.t
 (** Shorthand for [(generate_exn p).plan]. *)
 
 val cuda_source : t -> string

@@ -23,6 +23,24 @@ let reason_to_string = function
   | Uncoalesced_lhs -> "uncoalesced lhs loads"
   | Uncoalesced_rhs -> "uncoalesced rhs loads"
 
+let reason_slug = function
+  | Too_many_threads -> "too_many_threads"
+  | Too_few_threads -> "too_few_threads"
+  | Smem_overflow -> "smem_overflow"
+  | Regs_overflow -> "regs_overflow"
+  | Low_occupancy -> "low_occupancy"
+  | Too_few_blocks -> "too_few_blocks"
+  | Uncoalesced_out -> "uncoalesced_out"
+  | Uncoalesced_lhs -> "uncoalesced_lhs"
+  | Uncoalesced_rhs -> "uncoalesced_rhs"
+
+let all_reasons =
+  [
+    Too_many_threads; Too_few_threads; Smem_overflow; Regs_overflow;
+    Low_occupancy; Too_few_blocks; Uncoalesced_out; Uncoalesced_lhs;
+    Uncoalesced_rhs;
+  ]
+
 let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
 
 let min_occupancy = 0.25
@@ -56,6 +74,20 @@ type klass =
   | Perf_blocks
   | Perf_coalescing_out
   | Perf_coalescing_in
+
+let klass_of_reason = function
+  | Too_many_threads | Smem_overflow | Regs_overflow -> Hardware
+  | Low_occupancy | Too_few_threads -> Perf_occupancy
+  | Too_few_blocks -> Perf_blocks
+  | Uncoalesced_out -> Perf_coalescing_out
+  | Uncoalesced_lhs | Uncoalesced_rhs -> Perf_coalescing_in
+
+let klass_to_string = function
+  | Hardware -> "hardware"
+  | Perf_occupancy -> "occupancy"
+  | Perf_blocks -> "blocks"
+  | Perf_coalescing_out -> "coalescing-out"
+  | Perf_coalescing_in -> "coalescing-in"
 
 let constraints arch prec problem mapping =
   let info = Problem.info problem in
@@ -107,24 +139,41 @@ type stats = {
   enumerated : int;
   kept : int;
   pruned : (reason * int) list;
+  hardware_rejects : int;
+  performance_rejects : int;
   relaxed : bool;
+  relax_attempts : int;
 }
 
+let pruned_count s reason =
+  Option.value ~default:0 (List.assoc_opt reason s.pruned)
+
 let pp_stats fmt s =
-  Format.fprintf fmt "@[<v>%d enumerated, %d kept (%.1f%% pruned)%s" s.enumerated
-    s.kept
+  Format.fprintf fmt
+    "@[<v>%d enumerated, %d kept (%.1f%% pruned; %d hardware, %d performance)%s"
+    s.enumerated s.kept
     (if s.enumerated = 0 then 0.0
      else
        100.0
        *. float_of_int (s.enumerated - s.kept)
        /. float_of_int s.enumerated)
-    (if s.relaxed then " [performance constraints relaxed]" else "");
+    s.hardware_rejects s.performance_rejects
+    (if s.relaxed then
+       Printf.sprintf " [performance constraints relaxed after %d attempts]"
+         s.relax_attempts
+     else "");
   List.iter
-    (fun (r, n) -> Format.fprintf fmt "@,  %a: %d" pp_reason r n)
+    (fun (r, n) ->
+      Format.fprintf fmt "@,  [%s] %a: %d"
+        (klass_to_string (klass_of_reason r))
+        pp_reason r n)
     s.pruned;
   Format.fprintf fmt "@]"
 
 let filter ?(performance = true) arch prec problem mappings =
+  Tc_obs.Trace.with_span "prune.filter"
+    ~args:[ ("enumerated", Tc_obs.Trace.Int (List.length mappings)) ]
+  @@ fun () ->
   let tally = Hashtbl.create 8 in
   let primary = if performance then all_classes else [ Hardware ] in
   let run classes =
@@ -140,8 +189,8 @@ let filter ?(performance = true) arch prec problem mappings =
       mappings
   in
   let strict = run primary in
-  let kept, relaxed =
-    if strict <> [] then (strict, false)
+  let kept, relaxed, relax_attempts =
+    if strict <> [] then (strict, false, 0)
     else
       (* Relax performance constraints progressively; hardware stays.  The
          input-coalescing rules go first: when both input FVIs are internal
@@ -157,15 +206,55 @@ let filter ?(performance = true) arch prec problem mappings =
           [ Hardware ];
         ]
       in
-      let rec try_relax = function
-        | [] -> ([], true)
+      let rec try_relax n = function
+        | [] -> ([], true, n)
         | classes :: rest -> (
-            match run classes with [] -> try_relax rest | l -> (l, true))
+            match run classes with
+            | [] -> try_relax (n + 1) rest
+            | l -> (l, true, n + 1))
       in
-      try_relax attempts
+      try_relax 0 attempts
   in
   let pruned =
     Hashtbl.fold (fun r n acc -> (r, n) :: acc) tally []
     |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
   in
-  (kept, { enumerated = List.length mappings; kept = List.length kept; pruned; relaxed })
+  let count_klass k =
+    List.fold_left
+      (fun acc (r, n) -> if klass_of_reason r = k then acc + n else acc)
+      0 pruned
+  in
+  let hardware_rejects = count_klass Hardware in
+  let performance_rejects =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 pruned - hardware_rejects
+  in
+  let stats =
+    {
+      enumerated = List.length mappings;
+      kept = List.length kept;
+      pruned;
+      hardware_rejects;
+      performance_rejects;
+      relaxed;
+      relax_attempts;
+    }
+  in
+  let open Tc_obs in
+  Metrics.add (Metrics.counter "cogent.prune.enumerated")
+    (float_of_int stats.enumerated);
+  Metrics.add (Metrics.counter "cogent.prune.kept") (float_of_int stats.kept);
+  if relaxed then Metrics.incr (Metrics.counter "cogent.prune.relaxed");
+  List.iter
+    (fun (r, n) ->
+      Metrics.add
+        (Metrics.counter ("cogent.prune.rejected." ^ reason_slug r))
+        (float_of_int n))
+    pruned;
+  Trace.add_args
+    [
+      ("kept", Trace.Int stats.kept);
+      ("hardware_rejects", Trace.Int hardware_rejects);
+      ("performance_rejects", Trace.Int performance_rejects);
+      ("relaxed", Trace.Bool relaxed);
+    ];
+  (kept, stats)

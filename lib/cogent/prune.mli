@@ -24,6 +24,26 @@ type reason =
 val pp_reason : Format.formatter -> reason -> unit
 val reason_to_string : reason -> string
 
+val reason_slug : reason -> string
+(** Machine-friendly name ([smem_overflow], ...) used in metric names and
+    JSON exports. *)
+
+val all_reasons : reason list
+(** Every rule, in declaration order — drives itemized audit tables. *)
+
+type klass =
+  | Hardware
+  | Perf_occupancy
+  | Perf_blocks
+  | Perf_coalescing_out
+  | Perf_coalescing_in
+      (** Constraint classes of §IV-A1/§IV-A2: hardware feasibility versus
+          the three families of performance rules.  Relaxation (below)
+          drops performance classes, never [Hardware]. *)
+
+val klass_of_reason : reason -> klass
+val klass_to_string : klass -> string
+
 val min_occupancy : float
 val min_blocks_factor : int
 val min_fvi_tile : int
@@ -45,11 +65,19 @@ type stats = {
   enumerated : int;
   kept : int;
   pruned : (reason * int) list;  (** per-reason counts, descending *)
+  hardware_rejects : int;  (** rejections by [Hardware]-class rules *)
+  performance_rejects : int;  (** rejections by any performance rule *)
   relaxed : bool;
       (** true when performance constraints had to be relaxed because no
           configuration satisfied them (tiny problems) — a documented
           deviation to keep every contraction compilable *)
+  relax_attempts : int;
+      (** relaxation rounds tried before one yielded survivors (0 when the
+          strict rule set already kept something) *)
 }
+
+val pruned_count : stats -> reason -> int
+(** Count for one rule (0 when it rejected nothing). *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

@@ -1,0 +1,45 @@
+(** Cost-model explainability: why the generator picked what it picked.
+
+    [analyze] re-runs the configuration search for a contraction and keeps
+    the evidence the paper's argument rests on (§IV–§V): the per-rule
+    pruning audit, the Algorithm-3 DRAM charge sheet of each surviving
+    candidate (transactions per tensor, contiguous-run lengths, coalescing
+    efficiency), the occupancy limiter, and the simulator's roofline
+    breakdown — roughly what the authors read off nvprof on real hardware.
+
+    Everything here is a pure function of the analytical models, so
+    [render] output is deterministic and golden-testable. *)
+
+open Tc_gpu
+open Tc_expr
+open Cogent
+
+type candidate = {
+  rank : int;  (** 1-based position in the model ranking *)
+  plan : Plan.t;
+  cost : Cost.explanation;  (** Algorithm-3 charge sheet *)
+  occupancy : Occupancy.result;
+  sim : Tc_sim.Simkernel.result;  (** simulator verdict incl. roofline *)
+}
+
+type t = {
+  problem : Problem.t;
+  arch : Arch.t;
+  precision : Precision.t;
+  naive_space : float;
+  stats : Prune.stats;
+  candidates : candidate list;  (** ascending model cost *)
+}
+
+val analyze :
+  ?arch:Arch.t -> ?precision:Precision.t -> ?top:int -> Problem.t
+  -> (t, string) result
+(** Enumerate, prune, rank, and explain the [top] (default 3) candidates.
+    Defaults mirror {!Cogent.Driver.generate}: V100, FP64.  [Error] only
+    when no hardware-feasible configuration exists. *)
+
+val render : t -> string
+(** The full human-readable report (what [cogent explain] prints). *)
+
+val to_json : t -> Tc_obs.Json.t
+(** The same content as a machine-readable tree. *)

@@ -1,0 +1,125 @@
+let value_to_json : Trace.value -> Json.t = function
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.String s -> Json.String s
+
+let args_to_json args =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) args)
+
+let value_to_string : Trace.value -> string = function
+  | Trace.Bool b -> string_of_bool b
+  | Trace.Int i -> string_of_int i
+  | Trace.Float f -> Printf.sprintf "%.6g" f
+  | Trace.String s -> s
+
+let args_to_string = function
+  | [] -> ""
+  | args ->
+      "  ("
+      ^ String.concat ", "
+          (List.map (fun (k, v) -> k ^ "=" ^ value_to_string v) args)
+      ^ ")"
+
+let to_text events =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Trace.Span { name; start_us; dur_us; depth; args; _ } ->
+          Printf.bprintf buf "%s%-*s %10.3f ms @ %.3f ms%s\n"
+            (String.make (2 * depth) ' ')
+            (max 1 (32 - (2 * depth)))
+            name (dur_us /. 1e3) (start_us /. 1e3) (args_to_string args)
+      | Trace.Instant { name; ts_us; args; _ } ->
+          Printf.bprintf buf "* %-30s            @ %.3f ms%s\n" name
+            (ts_us /. 1e3) (args_to_string args)
+      | Trace.Counter { name; ts_us; value } ->
+          Printf.bprintf buf "# %-30s = %-8.6g @ %.3f ms\n" name value
+            (ts_us /. 1e3))
+    events;
+  Buffer.contents buf
+
+let event_to_json ev =
+  match ev with
+  | Trace.Span { name; cat; start_us; dur_us; depth; args } ->
+      Json.Obj
+        [
+          ("type", Json.String "span");
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+          ("ts_us", Json.Float start_us);
+          ("dur_us", Json.Float dur_us);
+          ("depth", Json.Int depth);
+          ("args", args_to_json args);
+        ]
+  | Trace.Instant { name; cat; ts_us; args } ->
+      Json.Obj
+        [
+          ("type", Json.String "instant");
+          ("name", Json.String name);
+          ("cat", Json.String cat);
+          ("ts_us", Json.Float ts_us);
+          ("args", args_to_json args);
+        ]
+  | Trace.Counter { name; ts_us; value } ->
+      Json.Obj
+        [
+          ("type", Json.String "counter");
+          ("name", Json.String name);
+          ("ts_us", Json.Float ts_us);
+          ("value", Json.Float value);
+        ]
+
+let to_jsonl events =
+  String.concat ""
+    (List.map (fun ev -> Json.to_string (event_to_json ev) ^ "\n") events)
+
+let chrome_event ev =
+  let common name cat ts =
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ts", Json.Float ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  match ev with
+  | Trace.Span { name; cat; start_us; dur_us; args; _ } ->
+      Json.Obj
+        (common name cat start_us
+        @ [
+            ("ph", Json.String "X");
+            ("dur", Json.Float dur_us);
+            ("args", args_to_json args);
+          ])
+  | Trace.Instant { name; cat; ts_us; args } ->
+      Json.Obj
+        (common name cat ts_us
+        @ [
+            ("ph", Json.String "i");
+            ("s", Json.String "t");
+            ("args", args_to_json args);
+          ])
+  | Trace.Counter { name; ts_us; value } ->
+      Json.Obj
+        (common name "counter" ts_us
+        @ [
+            ("ph", Json.String "C");
+            ("args", Json.Obj [ ("value", Json.Float value) ]);
+          ])
+
+let to_chrome events =
+  Json.to_string
+    (Json.Obj
+       [
+         ("traceEvents", Json.List (List.map chrome_event events));
+         ("displayTimeUnit", Json.String "ms");
+       ])
+
+let write_chrome ~path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome events))

@@ -1,0 +1,38 @@
+(** Minimal JSON tree, serializer and parser.
+
+    Deliberately dependency-free (the observability layer must not drag a
+    JSON library into every consumer of the generator).  The serializer is
+    deterministic: object fields are emitted in the order given, floats use
+    the shortest ["%g"] rendering that parses back to the same value (so
+    serialize/parse round-trips), and strings are escaped per RFC 8259.  The
+    parser accepts exactly the JSON this module (and any standard writer)
+    produces; it exists so tests can validate exported traces and metrics
+    without external tooling. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for humans. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; trailing garbage is an error.  Numbers without
+    [.], [e] or [E] parse as [Int], everything else as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the value bound to the first occurrence of [k];
+    [None] for missing keys or non-objects. *)
+
+val to_float : t -> float option
+(** Numeric accessor: [Int] and [Float] both convert. *)
+
+val pp : Format.formatter -> t -> unit

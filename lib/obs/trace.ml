@@ -1,0 +1,158 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type args = (string * value) list
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      start_us : float;
+      dur_us : float;
+      depth : int;
+      args : args;
+    }
+  | Instant of { name : string; cat : string; ts_us : float; args : args }
+  | Counter of { name : string; ts_us : float; value : float }
+
+type open_span = {
+  oseq : int;
+  oname : string;
+  ocat : string;
+  ostart : float;  (* µs, relative to epoch *)
+  odepth : int;
+  mutable oargs : args;
+}
+
+type t = {
+  clock : unit -> float;
+  lock : Mutex.t;
+  mutable epoch : float option;  (* clock value of the first event *)
+  mutable next_seq : int;
+  mutable stack : open_span list;  (* innermost first *)
+  mutable recorded : (int * event) list;  (* (begin seq, event), newest first *)
+}
+
+let make ?(clock = Sys.time) () =
+  {
+    clock;
+    lock = Mutex.create ();
+    epoch = None;
+    next_seq = 0;
+    stack = [];
+    recorded = [];
+  }
+
+let ambient : t option ref = ref None
+let install t = ambient := Some t
+let uninstall () = ambient := None
+let installed () = !ambient
+let enabled () = Option.is_some !ambient
+
+let with_installed t f =
+  let saved = !ambient in
+  ambient := Some t;
+  Fun.protect ~finally:(fun () -> ambient := saved) f
+
+let resolve explicit = match explicit with Some _ -> explicit | None -> !ambient
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Both below assume [t.lock] is held. *)
+let now_us t =
+  let raw = t.clock () in
+  let epoch =
+    match t.epoch with
+    | Some e -> e
+    | None ->
+        t.epoch <- Some raw;
+        raw
+  in
+  (raw -. epoch) *. 1e6
+
+let fresh_seq t =
+  let s = t.next_seq in
+  t.next_seq <- s + 1;
+  s
+
+let begin_span t ~cat ~args name =
+  locked t (fun () ->
+      let span =
+        {
+          oseq = fresh_seq t;
+          oname = name;
+          ocat = cat;
+          ostart = now_us t;
+          odepth = List.length t.stack;
+          oargs = args;
+        }
+      in
+      t.stack <- span :: t.stack;
+      span)
+
+let end_span t span =
+  locked t (fun () ->
+      (* Close any spans the caller leaked below this one, then this one. *)
+      let rec unwind = function
+        | [] -> []
+        | s :: rest ->
+            let ev =
+              Span
+                {
+                  name = s.oname;
+                  cat = s.ocat;
+                  start_us = s.ostart;
+                  dur_us = Float.max 0.0 (now_us t -. s.ostart);
+                  depth = s.odepth;
+                  args = s.oargs;
+                }
+            in
+            t.recorded <- (s.oseq, ev) :: t.recorded;
+            if s == span then rest else unwind rest
+      in
+      t.stack <- unwind t.stack)
+
+let with_span ?t ?(cat = "cogent") ?(args = []) name f =
+  match resolve t with
+  | None -> f ()
+  | Some t ->
+      let span = begin_span t ~cat ~args name in
+      Fun.protect ~finally:(fun () -> end_span t span) f
+
+let add_args ?t args =
+  match resolve t with
+  | None -> ()
+  | Some t ->
+      locked t (fun () ->
+          match t.stack with
+          | [] -> ()
+          | span :: _ -> span.oargs <- span.oargs @ args)
+
+let instant ?t ?(cat = "cogent") ?(args = []) name =
+  match resolve t with
+  | None -> ()
+  | Some t ->
+      locked t (fun () ->
+          let seq = fresh_seq t in
+          t.recorded <-
+            (seq, Instant { name; cat; ts_us = now_us t; args }) :: t.recorded)
+
+let counter ?t name value =
+  match resolve t with
+  | None -> ()
+  | Some t ->
+      locked t (fun () ->
+          let seq = fresh_seq t in
+          t.recorded <- (seq, Counter { name; ts_us = now_us t; value }) :: t.recorded)
+
+let events t =
+  locked t (fun () ->
+      List.sort (fun (a, _) (b, _) -> Int.compare a b) t.recorded
+      |> List.map snd)
+
+let clear t = locked t (fun () -> t.recorded <- [])

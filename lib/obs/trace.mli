@@ -1,0 +1,81 @@
+(** Structured tracing: hierarchical spans, instants and counter samples.
+
+    The core is pay-for-what-you-use: with no context installed (and none
+    passed explicitly), {!with_span} reduces to calling its thunk — no
+    allocation, no clock read, no locking — so instrumented library code
+    is bit-identical in behaviour to uninstrumented code.  When a context
+    is active, events are collected in memory under a mutex (sinks are
+    thread-safe) and can be exported through {!Export} as human-readable
+    text, JSON-lines, or Chrome [trace_event] JSON loadable in
+    [chrome://tracing] / Perfetto.
+
+    Timestamps come from the context's clock (seconds, converted to
+    microseconds relative to the first event).  The default clock is
+    [Sys.time] — monotone for this process and dependency-free; tests
+    inject a deterministic virtual clock via [make ~clock]. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+type args = (string * value) list
+(** Key/value annotations attached to an event. *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;  (** category, e.g. ["cogent"] — Chrome's [cat] field *)
+      start_us : float;
+      dur_us : float;
+      depth : int;  (** nesting depth, 0 = root *)
+      args : args;
+    }
+  | Instant of { name : string; cat : string; ts_us : float; args : args }
+  | Counter of { name : string; ts_us : float; value : float }
+
+type t
+(** A trace context: a clock plus a thread-safe in-memory event sink. *)
+
+val make : ?clock:(unit -> float) -> unit -> t
+(** A fresh, empty context.  [clock] returns seconds; it only needs to be
+    monotone.  Default: [Sys.time]. *)
+
+val install : t -> unit
+(** Make [t] the ambient context: subsequent [with_span]/[instant]/[counter]
+    calls without an explicit [?t] record into it. *)
+
+val uninstall : unit -> unit
+
+val installed : unit -> t option
+
+val with_installed : t -> (unit -> 'a) -> 'a
+(** [with_installed t f] installs [t], runs [f], and restores the
+    previously installed context (even on exceptions). *)
+
+val enabled : unit -> bool
+(** [true] iff a context is installed — the cheap guard instrumented code
+    may use before building expensive arguments. *)
+
+val with_span : ?t:t -> ?cat:string -> ?args:args -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f] as a span nested under the currently open
+    span of the target context.  With no target context, exactly [f ()]. *)
+
+val add_args : ?t:t -> args -> unit
+(** Append annotations to the innermost open span (useful when a result —
+    e.g. how many configurations survived — is only known mid-span).
+    No-op without a target context or outside any span. *)
+
+val instant : ?t:t -> ?cat:string -> ?args:args -> string -> unit
+(** A zero-duration point event. *)
+
+val counter : ?t:t -> string -> float -> unit
+(** A counter sample (Chrome renders these as stacked area charts). *)
+
+val events : t -> event list
+(** All completed events in deterministic creation order (spans ordered by
+    their begin time, before any children). *)
+
+val clear : t -> unit
+(** Drop recorded events; open spans and the clock epoch survive. *)

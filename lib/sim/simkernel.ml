@@ -12,6 +12,17 @@ let pp_bound fmt b =
     | Compute -> "compute-bound"
     | Latency -> "latency-bound")
 
+type detail = {
+  tx_lhs : float;
+  tx_rhs : float;
+  tx_out : float;
+  mem_eff : float;
+  comp_eff : float;
+  warp_eff : float;
+  ilp_eff : float;
+  launch_s : float;
+}
+
 type result = {
   time_s : float;
   gflops : float;
@@ -22,6 +33,7 @@ type result = {
   occupancy : float;
   concurrency : float;
   bound : bound;
+  detail : detail;
 }
 
 (* ---- calibration constants (see EXPERIMENTS.md) ---- *)
@@ -235,6 +247,17 @@ let run (plan : Plan.t) =
       occupancy = 0.0;
       concurrency;
       bound = Latency;
+      detail =
+        {
+          tx_lhs = tx.Cost.lhs;
+          tx_rhs = tx.Cost.rhs;
+          tx_out = tx.Cost.out;
+          mem_eff = 0.0;
+          comp_eff = 0.0;
+          warp_eff = 0.0;
+          ilp_eff = 0.0;
+          launch_s = arch.Arch.kernel_launch_us *. 1e-6;
+        };
     }
   else begin
     (* Blocks smaller than a warp waste lanes on every access and issue. *)
@@ -279,17 +302,40 @@ let run (plan : Plan.t) =
       else if mem_time >= compute_time then Memory
       else Compute
     in
-    {
-      time_s = time;
-      gflops = Problem.flops problem /. time /. 1e9;
-      transactions;
-      bytes;
-      mem_time_s = mem_time;
-      compute_time_s = compute_time;
-      occupancy = occ;
-      concurrency;
-      bound;
-    }
+    let result =
+      {
+        time_s = time;
+        gflops = Problem.flops problem /. time /. 1e9;
+        transactions;
+        bytes;
+        mem_time_s = mem_time;
+        compute_time_s = compute_time;
+        occupancy = occ;
+        concurrency;
+        bound;
+        detail =
+          {
+            tx_lhs = tx.Cost.lhs;
+            tx_rhs = tx.Cost.rhs;
+            tx_out = tx.Cost.out;
+            mem_eff;
+            comp_eff;
+            warp_eff;
+            ilp_eff;
+            launch_s = launch;
+          };
+      }
+    in
+    if Tc_obs.Trace.enabled () then
+      Tc_obs.Trace.instant "sim.run"
+        ~args:
+          [
+            ("gflops", Tc_obs.Trace.Float result.gflops);
+            ("bound", Tc_obs.Trace.String (Format.asprintf "%a" pp_bound bound));
+            ("mem_ms", Tc_obs.Trace.Float (mem_time *. 1e3));
+            ("compute_ms", Tc_obs.Trace.Float (compute_time *. 1e3));
+          ];
+    result
   end
 
 let gflops plan = (run plan).gflops

@@ -22,6 +22,22 @@ type bound = Memory | Compute | Latency
 
 val pp_bound : Format.formatter -> bound -> unit
 
+type detail = {
+  tx_lhs : float;  (** DRAM-equivalent transactions loading the lhs *)
+  tx_rhs : float;
+  tx_out : float;  (** transactions storing the output *)
+  mem_eff : float;
+      (** achieved fraction of peak DRAM bandwidth (base streaming
+          efficiency × occupancy saturation × concurrency × warp fill) *)
+  comp_eff : float;  (** achieved fraction of peak FLOP issue rate *)
+  warp_eff : float;  (** lane utilization of sub-warp blocks *)
+  ilp_eff : float;  (** FMA slots vs register staging + loop overhead *)
+  launch_s : float;  (** kernel launch latency charged *)
+}
+(** The roofline components behind a {!result} — how each derating factor
+    contributed, so a prediction can be audited term by term (the same
+    inspectability argument Peise et al. make for BLAS-based prediction). *)
+
 type result = {
   time_s : float;
   gflops : float;
@@ -32,6 +48,7 @@ type result = {
   occupancy : float;
   concurrency : float;  (** fraction of the device the grid can fill *)
   bound : bound;
+  detail : detail;
 }
 
 val run : Cogent.Plan.t -> result

@@ -119,6 +119,9 @@ let candidate_plans problem =
 let talsh_overhead_s = 150e-6
 
 let estimate arch prec t =
+  Tc_obs.Trace.with_span "ttgt.estimate"
+    ~args:[ ("permutes", Tc_obs.Trace.Int (List.length t.permutes)) ]
+  @@ fun () ->
   let sizes = Problem.sizes t.problem in
   let transposes =
     List.map
@@ -135,6 +138,14 @@ let estimate arch prec t =
   let gemm = Gemm_model.run arch prec ~m ~n ~k:t.k in
   let gemm_time_s = gemm.Gemm_model.time_s in
   let time_s = transpose_time_s +. gemm_time_s +. talsh_overhead_s in
+  Tc_obs.Trace.add_args
+    [
+      ("transpose_ms", Tc_obs.Trace.Float (transpose_time_s *. 1e3));
+      ("gemm_ms", Tc_obs.Trace.Float (gemm_time_s *. 1e3));
+      ( "transpose_share",
+        Tc_obs.Trace.Float
+          (if time_s > 0.0 then transpose_time_s /. time_s else 0.0) );
+    ];
   {
     time_s;
     gflops = Problem.flops t.problem /. time_s /. 1e9;
@@ -183,6 +194,10 @@ let faithful_plan problem =
   }
 
 let plan ?(optimize = false) problem =
+  Tc_obs.Trace.with_span "ttgt.plan"
+    ~args:[ ("optimize", Tc_obs.Trace.Bool optimize) ]
+  @@ fun () ->
+  Tc_obs.Metrics.incr (Tc_obs.Metrics.counter "cogent.ttgt.plans");
   if not optimize then faithful_plan problem
   else
     let candidates = candidate_plans problem in

@@ -1,0 +1,365 @@
+(* Tests for Tc_obs (tracing, metrics, JSON, exporters) and the explain
+   layer built on top of it.  Everything uses injected virtual clocks or
+   isolated registries, so results are fully deterministic. *)
+
+open Tc_obs
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* A deterministic clock: every read advances by 1 ms. *)
+let ticker () =
+  let now = ref 0.0 in
+  fun () ->
+    let v = !now in
+    now := v +. 0.001;
+    v
+
+(* ---- Trace: span nesting and ordering ---- *)
+
+let test_span_nesting () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  let r =
+    Trace.with_span ~t "outer" (fun () ->
+        Trace.with_span ~t "inner1" (fun () -> ());
+        Trace.with_span ~t "inner2" (fun () -> ());
+        42)
+  in
+  check Alcotest.int "result passes through" 42 r;
+  match Trace.events t with
+  | [
+   Trace.Span { name = "outer"; depth = 0; _ };
+   Trace.Span { name = "inner1"; depth = 1; _ };
+   Trace.Span { name = "inner2"; depth = 1; _ };
+  ] ->
+      ()
+  | evs ->
+      fail
+        (Printf.sprintf "unexpected events (%d): %s" (List.length evs)
+           (String.concat ", "
+              (List.map
+                 (function
+                   | Trace.Span { name; depth; _ } ->
+                       Printf.sprintf "span %s@%d" name depth
+                   | Trace.Instant { name; _ } -> "instant " ^ name
+                   | Trace.Counter { name; _ } -> "counter " ^ name)
+                 evs)))
+
+let test_span_durations () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  Trace.with_span ~t "a" (fun () -> Trace.with_span ~t "b" (fun () -> ()));
+  match Trace.events t with
+  | [
+   Trace.Span { name = na; start_us = sa; dur_us = da; _ };
+   Trace.Span { name = nb; start_us = sb; dur_us = db; _ };
+  ] ->
+      check Alcotest.string "names" "a,b" (na ^ "," ^ nb);
+      check Alcotest.bool "child starts after parent" true (sb >= sa);
+      check Alcotest.bool "parent spans child" true (da >= db)
+  | _ -> fail "expected two spans"
+
+let test_span_exception_unwind () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  (try
+     Trace.with_span ~t "boom" (fun () -> raise Exit)
+   with Exit -> ());
+  (match Trace.events t with
+  | [ Trace.Span { name = "boom"; depth = 0; _ } ] -> ()
+  | _ -> fail "span not closed on exception");
+  (* The stack unwound: a later span is again at depth 0. *)
+  Trace.with_span ~t "after" (fun () -> ());
+  match Trace.events t with
+  | [ _; Trace.Span { name = "after"; depth = 0; _ } ] -> ()
+  | _ -> fail "stack not unwound after exception"
+
+let test_pay_for_use () =
+  (* No context installed and none passed: with_span is exactly [f ()]. *)
+  check Alcotest.bool "no ambient context" true (Trace.installed () = None);
+  check Alcotest.bool "disabled" false (Trace.enabled ());
+  let calls = ref 0 in
+  let r =
+    Trace.with_span "ignored" (fun () ->
+        incr calls;
+        "value")
+  in
+  check Alcotest.string "passthrough result" "value" r;
+  check Alcotest.int "thunk ran once" 1 !calls;
+  Trace.instant "ignored";
+  Trace.counter "ignored" 1.0;
+  Trace.add_args [ ("k", Trace.Int 1) ]
+
+let test_with_installed_restores () =
+  let t1 = Trace.make ~clock:(ticker ()) () in
+  let t2 = Trace.make ~clock:(ticker ()) () in
+  (* physical equality: contexts contain closures *)
+  let is_installed t =
+    match Trace.installed () with Some x -> x == t | None -> false
+  in
+  Trace.with_installed t1 (fun () ->
+      check Alcotest.bool "t1 installed" true (is_installed t1);
+      Trace.with_installed t2 (fun () ->
+          Trace.with_span "in-t2" (fun () -> ()));
+      check Alcotest.bool "t1 restored" true (is_installed t1));
+  check Alcotest.bool "nothing installed after" true (Trace.installed () = None);
+  check Alcotest.int "t2 got the span" 1 (List.length (Trace.events t2));
+  check Alcotest.int "t1 got nothing" 0 (List.length (Trace.events t1))
+
+(* ---- Metrics ---- *)
+
+let test_metrics_counters () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter ~registry:reg "x.count" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check (Alcotest.option (Alcotest.float 0.0)) "counter value" (Some 5.0)
+    (Metrics.value reg "x.count");
+  (* Registration is idempotent: same instrument. *)
+  Metrics.incr (Metrics.counter ~registry:reg "x.count");
+  check (Alcotest.option (Alcotest.float 0.0)) "shared instrument" (Some 6.0)
+    (Metrics.value reg "x.count");
+  (* Kind mismatch is an error. *)
+  (match Metrics.gauge ~registry:reg "x.count" with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "kind mismatch accepted")
+
+let test_metrics_snapshot_deterministic () =
+  let reg = Metrics.create () in
+  Metrics.set (Metrics.gauge ~registry:reg "b.gauge") 2.5;
+  Metrics.incr (Metrics.counter ~registry:reg "a.count");
+  Metrics.observe (Metrics.histogram ~registry:reg "c.hist") 0.5;
+  let names =
+    List.map
+      (function
+        | Metrics.Counter_v { name; _ }
+        | Metrics.Gauge_v { name; _ }
+        | Metrics.Histogram_v { name; _ } ->
+            name)
+      (Metrics.snapshot reg)
+  in
+  check (Alcotest.list Alcotest.string) "sorted by name"
+    [ "a.count"; "b.gauge"; "c.hist" ]
+    names;
+  Metrics.reset reg;
+  check (Alcotest.option (Alcotest.float 0.0)) "reset zeroes" (Some 0.0)
+    (Metrics.value reg "a.count");
+  check Alcotest.int "registrations survive reset" 3
+    (List.length (Metrics.snapshot reg))
+
+(* Counter determinism across repeated pipeline runs: the same generated
+   problem pruned twice yields byte-identical metric deltas. *)
+let metrics_deterministic_on_generated =
+  QCheck.Test.make ~count:30 ~name:"prune metrics deterministic"
+    Gen.case_arbitrary (fun c ->
+      let problem = c.Gen.problem in
+      let open Tc_gpu in
+      let run () =
+        Metrics.reset Metrics.global;
+        let configs = Cogent.Enumerate.enumerate problem in
+        let _kept, _stats =
+          Cogent.Prune.filter Arch.v100 Precision.FP64 problem configs
+        in
+        Json.to_string (Metrics.to_json (Metrics.snapshot Metrics.global))
+      in
+      let a = run () in
+      let b = run () in
+      a = b)
+
+(* ---- Exporters ---- *)
+
+let sample_trace () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  Trace.with_span ~t ~cat:"test" ~args:[ ("n", Trace.Int 3) ] "root"
+    (fun () ->
+      Trace.instant ~t ~args:[ ("why", Trace.String "because") ] "ping";
+      Trace.counter ~t "load" 0.75;
+      Trace.with_span ~t "child" (fun () -> ()));
+  t
+
+let test_jsonl_well_formed () =
+  let lines =
+    String.split_on_char '\n' (Export.to_jsonl (Trace.events (sample_trace ())))
+    |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "one line per event" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok j ->
+          check Alcotest.bool "has a type field" true
+            (Json.member "type" j <> None)
+      | Error e -> fail (Printf.sprintf "bad JSONL line %S: %s" line e))
+    lines
+
+let test_chrome_schema () =
+  let s = Export.to_chrome (Trace.events (sample_trace ())) in
+  match Json.parse s with
+  | Error e -> fail ("chrome trace does not parse: " ^ e)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          check Alcotest.int "all events exported" 4 (List.length evs);
+          let phases =
+            List.map
+              (fun ev ->
+                (match Json.member "pid" ev with
+                | Some (Json.Int _) -> ()
+                | _ -> fail "event missing pid");
+                (match Json.member "name" ev with
+                | Some (Json.String _) -> ()
+                | _ ->
+                    if Json.member "ph" ev <> Some (Json.String "C") then
+                      fail "event missing name");
+                match Json.member "ph" ev with
+                | Some (Json.String ph) ->
+                    if ph = "X" then (
+                      (match Json.member "ts" ev with
+                      | Some v when Json.to_float v <> None -> ()
+                      | _ -> fail "X event missing ts");
+                      match Json.member "dur" ev with
+                      | Some v when Json.to_float v <> None -> ()
+                      | _ -> fail "X event missing dur");
+                    ph
+                | _ -> fail "event missing ph")
+              evs
+          in
+          check Alcotest.bool "has complete spans" true (List.mem "X" phases);
+          check Alcotest.bool "has instant" true (List.mem "i" phases);
+          check Alcotest.bool "has counter" true (List.mem "C" phases)
+      | _ -> fail "no traceEvents array")
+
+let test_text_export () =
+  let s = Export.to_text (Trace.events (sample_trace ())) in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "text mentions %S" needle) true
+        (let ln = String.length needle and ls = String.length s in
+         let rec go i =
+           i + ln <= ls && (String.sub s i ln = needle || go (i + 1))
+         in
+         go 0))
+    [ "root"; "child"; "ping"; "load" ]
+
+(* ---- Json parser round-trip ---- *)
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\nd");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Float 2.25; Json.String "x" ]);
+      ]
+  in
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> check Alcotest.bool "roundtrip equal" true (j = j')
+  | Error e -> fail ("roundtrip parse failed: " ^ e)
+
+(* ---- Driver ?trace and explain golden ---- *)
+
+let eq1 =
+  Tc_expr.Problem.of_string_exn "abcd-aebf-dfce"
+    ~sizes:[ ('a', 48); ('b', 48); ('c', 48); ('d', 48); ('e', 32); ('f', 32) ]
+
+let test_driver_trace () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  (match Cogent.Driver.generate ~trace:t eq1 with
+  | Ok _ -> ()
+  | Error e -> fail e);
+  let names =
+    List.filter_map
+      (function Trace.Span { name; _ } -> Some name | _ -> None)
+      (Trace.events t)
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.bool (Printf.sprintf "trace has span %S" n) true
+        (List.mem n names))
+    [ "driver.generate"; "driver.enumerate"; "prune.filter"; "driver.cost_rank" ];
+  (* The whole trace exports as valid Chrome JSON. *)
+  match Json.parse (Export.to_chrome (Trace.events t)) with
+  | Ok _ -> ()
+  | Error e -> fail ("driver trace not valid chrome JSON: " ^ e)
+
+let test_driver_trace_no_leak () =
+  (* ?trace must not leave an ambient context installed. *)
+  let t = Trace.make ~clock:(ticker ()) () in
+  ignore (Cogent.Driver.generate ~trace:t eq1);
+  check Alcotest.bool "no ambient context after generate" true
+    (Trace.installed () = None)
+
+let golden_path file =
+  let beside_exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat "golden" file)
+  in
+  if Sys.file_exists beside_exe then beside_exe
+  else if Sys.file_exists (Filename.concat "golden" file) then
+    Filename.concat "golden" file
+  else Filename.concat "test/golden" file
+
+let read_golden file =
+  let ic = open_in (golden_path file) in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_explain_golden () =
+  match Tc_explain.Explain.analyze eq1 with
+  | Error e -> fail e
+  | Ok report ->
+      check Alcotest.string "golden explain report"
+        (read_golden "explain_eq1.txt")
+        (Tc_explain.Explain.render report)
+
+let test_explain_json () =
+  match Tc_explain.Explain.analyze ~top:1 eq1 with
+  | Error e -> fail e
+  | Ok report -> (
+      let j = Tc_explain.Explain.to_json report in
+      (* Serializes and reparses to the same tree. *)
+      (match Json.parse (Json.to_string j) with
+      | Ok j' -> check Alcotest.bool "json roundtrip" true (j = j')
+      | Error e -> fail ("explain json does not parse: " ^ e));
+      match Json.member "candidates" j with
+      | Some (Json.List [ _ ]) -> ()
+      | _ -> fail "expected exactly one candidate with ~top:1")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span durations" `Quick test_span_durations;
+          Alcotest.test_case "exception unwind" `Quick
+            test_span_exception_unwind;
+          Alcotest.test_case "pay for use" `Quick test_pay_for_use;
+          Alcotest.test_case "with_installed restores" `Quick
+            test_with_installed_restores;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "snapshot deterministic" `Quick
+            test_metrics_snapshot_deterministic;
+          Gen.to_alcotest metrics_deterministic_on_generated;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_well_formed;
+          Alcotest.test_case "chrome schema" `Quick test_chrome_schema;
+          Alcotest.test_case "text export" `Quick test_text_export;
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        ] );
+      ( "explain",
+        [
+          Alcotest.test_case "driver ?trace" `Quick test_driver_trace;
+          Alcotest.test_case "no context leak" `Quick test_driver_trace_no_leak;
+          Alcotest.test_case "golden report" `Quick test_explain_golden;
+          Alcotest.test_case "json report" `Quick test_explain_json;
+        ] );
+    ]
