@@ -7,7 +7,10 @@
    3. performance-constraint value (§IV-A2): best configuration with
       hardware-only pruning and model-only selection, vs the full rules;
    4. the TTGT planner extension: TAL_SH-faithful permutes vs the
-      cheapest-permutation search. *)
+      cheapest-permutation search.
+
+   Each study also returns one summary [Tc_profile.Benchrep.entry] so the
+   BENCH_ablation.json report captures its headline numbers. *)
 
 open Tc_gpu
 
@@ -18,6 +21,16 @@ let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
 
 let plan_of problem mapping =
   Cogent.Plan.make ~problem ~mapping ~arch ~precision:prec
+
+(* Geomean of a/b over pairs, dropping non-finite ratios so a degenerate
+   study cannot poison the JSON report. *)
+let geo pairs =
+  Report.geomean
+    (List.filter Float.is_finite (List.map (fun (a, b) -> a /. b) pairs))
+
+let summary_entry name metrics =
+  Figures.bench_entry ~name ~expr:"(suite summary)" arch prec
+    [ Figures.strat "summary" metrics ]
 
 let spearman xs ys =
   (* rank correlation without tie correction (ties are rare here) *)
@@ -72,7 +85,10 @@ let selection () =
     Tc_tccg.Suite.all;
   print_newline ();
   Report.speedup_summary ~name:"model-only" ~base:"oracle" !ratios_model;
-  Report.speedup_summary ~name:"top-8 refined" ~base:"oracle" !ratios_refined
+  Report.speedup_summary ~name:"top-8 refined" ~base:"oracle" !ratios_refined;
+  summary_entry "selection"
+    (Figures.finite "model_vs_oracle" (geo !ratios_model)
+    @ Figures.finite "refined_vs_oracle" (geo !ratios_refined))
 
 let correlation () =
   Report.section
@@ -98,8 +114,12 @@ let correlation () =
         rho)
       Tc_tccg.Suite.all
   in
+  let mean_rho =
+    List.fold_left ( +. ) 0.0 rhos /. float_of_int (List.length rhos)
+  in
   Printf.printf "\nmean rho: %.2f (1.0 = the model orders configurations exactly as the simulator does)\n"
-    (List.fold_left ( +. ) 0.0 rhos /. float_of_int (List.length rhos))
+    mean_rho;
+  summary_entry "correlation" (Figures.finite "mean_rho" mean_rho)
 
 let constraints () =
   Report.section
@@ -129,7 +149,8 @@ let constraints () =
       Tc_tccg.Suite.all
   in
   print_newline ();
-  Report.speedup_summary ~name:"full rules" ~base:"hardware-only" gains
+  Report.speedup_summary ~name:"full rules" ~base:"hardware-only" gains;
+  summary_entry "constraints" (Figures.finite "full_vs_hw" (geo gains))
 
 let ttgt_planner () =
   Report.section
@@ -151,7 +172,8 @@ let ttgt_planner () =
       Tc_tccg.Suite.all
   in
   print_newline ();
-  Report.speedup_summary ~name:"optimized TTGT" ~base:"faithful TTGT" gains
+  Report.speedup_summary ~name:"optimized TTGT" ~base:"faithful TTGT" gains;
+  summary_entry "ttgt" (Figures.finite "opt_vs_faithful" (geo gains))
 
 let splitting () =
   Report.section
@@ -188,11 +210,10 @@ let splitting () =
   print_newline ();
   if gains = [] then print_endline "no register-starved entries in the suite"
   else
-    Report.speedup_summary ~name:"with auto-split" ~base:"without" gains
+    Report.speedup_summary ~name:"with auto-split" ~base:"without" gains;
+  summary_entry "splitting"
+    (("entries_split", float_of_int (List.length gains))
+    :: Figures.finite "split_vs_base" (geo gains))
 
 let run () =
-  selection ();
-  correlation ();
-  constraints ();
-  ttgt_planner ();
-  splitting ()
+  [ selection (); correlation (); constraints (); ttgt_planner (); splitting () ]

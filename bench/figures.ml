@@ -1,8 +1,13 @@
 (* Reproduction of every figure in the paper's evaluation (§V).  Each
    function prints the series the corresponding figure plots; see
-   EXPERIMENTS.md for paper-vs-measured discussion. *)
+   EXPERIMENTS.md for paper-vs-measured discussion.
+
+   Besides printing, every target returns its data as
+   [Tc_profile.Benchrep.entry] values; main.ml persists them as
+   machine-readable BENCH_<target>.json reports for the regression gate. *)
 
 open Tc_gpu
+module Benchrep = Tc_profile.Benchrep
 
 let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
 
@@ -26,6 +31,34 @@ let nwchem_gflops arch prec problem =
 let talsh_gflops arch prec problem =
   (Tc_ttgt.Ttgt.run arch prec problem).Tc_ttgt.Ttgt.gflops
 
+(* ---- report-building helpers ---- *)
+
+let strat ?config name metrics = { Benchrep.strategy = name; metrics; config }
+
+let bench_entry ~name ~expr arch prec strategies =
+  {
+    Benchrep.name;
+    expr;
+    arch = arch.Arch.name;
+    precision = Precision.to_string prec;
+    strategies;
+  }
+
+(* Only finite values may enter a report: [nan]/[inf] do not survive the
+   JSON round-trip. *)
+let finite name v = if Float.is_finite v then [ (name, v) ] else []
+
+(* The full gated triple for a strategy we have a plan for: simulated
+   GFLOPS, simulated DRAM transactions, and the Algorithm-3 model cost,
+   plus the chosen configuration for human diffing. *)
+let plan_strategy name plan =
+  let sim = Tc_sim.Simkernel.run plan in
+  strat name
+    ~config:(Fmt.str "%a" Cogent.Mapping.pp plan.Cogent.Plan.mapping)
+    (finite "gflops" sim.Tc_sim.Simkernel.gflops
+    @ finite "transactions" sim.Tc_sim.Simkernel.transactions
+    @ finite "cost" plan.Cogent.Plan.cost)
+
 (* ---- Figs. 4 and 5: the 48 TCCG contractions, double precision ---- *)
 
 let tccg_comparison arch =
@@ -41,24 +74,35 @@ let tccg_comparison arch =
     List.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
-        let cg = cogent_gflops arch Precision.FP64 problem in
-        let nw = nwchem_gflops arch Precision.FP64 problem in
+        let cg_plan = (cogent_result arch Precision.FP64 problem).Cogent.Driver.plan in
+        let cg = simulate cg_plan in
+        let nw_plan = Tc_nwchem.Nwgen.plan ~arch ~precision:Precision.FP64 problem in
+        let nw = simulate nw_plan in
         let ts = talsh_gflops arch Precision.FP64 problem in
         Printf.printf "%-3d %-8s %-12s %-18s %9.0f %9.0f %9.0f\n"
           e.Tc_tccg.Suite.id e.Tc_tccg.Suite.name
           (Tc_tccg.Suite.group_to_string e.Tc_tccg.Suite.group)
           e.Tc_tccg.Suite.expr cg nw ts;
-        (e, cg, nw, ts))
+        let entry =
+          bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
+            arch Precision.FP64
+            [
+              plan_strategy "cogent" cg_plan;
+              plan_strategy "nwchem" nw_plan;
+              strat "talsh" (finite "gflops" ts);
+            ]
+        in
+        (e, cg, nw, ts, entry))
       Tc_tccg.Suite.all
   in
   print_newline ();
   Report.speedup_summary ~name:"COGENT" ~base:"NWChem"
-    (List.map (fun (_, cg, nw, _) -> (cg, nw)) rows);
+    (List.map (fun (_, cg, nw, _, _) -> (cg, nw)) rows);
   Report.speedup_summary ~name:"COGENT" ~base:"TAL_SH"
-    (List.map (fun (_, cg, _, ts) -> (cg, ts)) rows);
+    (List.map (fun (_, cg, _, ts, _) -> (cg, ts)) rows);
   let ccsdt =
     List.filter
-      (fun (e, _, _, _) ->
+      (fun (e, _, _, _, _) ->
         match e.Tc_tccg.Suite.group with
         | Tc_tccg.Suite.Ccsd_t_sd1 | Tc_tccg.Suite.Ccsd_t_sd2 -> true
         | _ -> false)
@@ -68,9 +112,9 @@ let tccg_comparison arch =
     let vals = List.map f ccsdt in
     (List.fold_left Float.min infinity vals, Report.maximum vals)
   in
-  let cg_lo, cg_hi = range (fun (_, cg, _, _) -> cg) in
-  let nw_lo, nw_hi = range (fun (_, _, nw, _) -> nw) in
-  let ts_lo, ts_hi = range (fun (_, _, _, ts) -> ts) in
+  let cg_lo, cg_hi = range (fun (_, cg, _, _, _) -> cg) in
+  let nw_lo, nw_hi = range (fun (_, _, nw, _, _) -> nw) in
+  let ts_lo, ts_hi = range (fun (_, _, _, ts, _) -> ts) in
   Printf.printf
     "CCSD(T) range (GFLOPS): COGENT %.0f-%.0f | NWChem %.0f-%.0f | TAL_SH \
      %.0f-%.0f\n"
@@ -78,16 +122,17 @@ let tccg_comparison arch =
   Printf.printf "\nGFLOPS bars (one representative per group):\n";
   let representative prefix =
     List.find_opt
-      (fun (e, _, _, _) -> e.Tc_tccg.Suite.name = prefix)
+      (fun (e, _, _, _, _) -> e.Tc_tccg.Suite.name = prefix)
       rows
   in
   Report.bar_chart ~series_names:[ "COGENT"; "NWChem"; "TAL_SH" ]
     (List.filter_map
        (fun name ->
          Option.map
-           (fun (e, cg, nw, ts) -> (e.Tc_tccg.Suite.name, [ cg; nw; ts ]))
+           (fun (e, cg, nw, ts, _) -> (e.Tc_tccg.Suite.name, [ cg; nw; ts ]))
            (representative name))
-       [ "ml_1"; "aomo_1"; "ccsd_1"; "ccsd_9"; "sd1_1"; "sd2_1" ])
+       [ "ml_1"; "aomo_1"; "ccsd_1"; "ccsd_9"; "sd1_1"; "sd2_1" ]);
+  List.map (fun (_, _, _, _, entry) -> entry) rows
 
 let fig4 () = tccg_comparison Arch.p100
 let fig5 () = tccg_comparison Arch.v100
@@ -108,21 +153,38 @@ let tc_comparison arch =
     List.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
-        let cg = cogent_gflops arch Precision.FP32 problem in
-        let tuned =
-          (Tc_autotune.Tuner.tuned arch Precision.FP32 problem)
-            .Tc_autotune.Genetic.best_gflops
+        let cg_plan =
+          (cogent_result arch Precision.FP32 problem).Cogent.Driver.plan
         in
+        let cg = simulate cg_plan in
+        let r = Tc_autotune.Tuner.tuned arch Precision.FP32 problem in
+        let tuned = r.Tc_autotune.Genetic.best_gflops in
         let untuned =
           Tc_autotune.Tuner.untuned_gflops arch Precision.FP32 problem
         in
         Printf.printf "%-8s %-18s %9.0f %12.0f %12.2f\n" e.Tc_tccg.Suite.name
           e.Tc_tccg.Suite.expr cg tuned untuned;
-        (cg, tuned))
+        let entry =
+          bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
+            arch Precision.FP32
+            [
+              plan_strategy "cogent" cg_plan;
+              strat "tc_tuned"
+                (finite "gflops" tuned
+                @ [
+                    ( "evaluations",
+                      float_of_int r.Tc_autotune.Genetic.evaluations );
+                  ]);
+              strat "tc_untuned" (finite "gflops" untuned);
+            ]
+        in
+        (cg, tuned, entry))
       Tc_tccg.Suite.sd2
   in
   print_newline ();
-  Report.speedup_summary ~name:"COGENT" ~base:"TC-tuned" rows
+  Report.speedup_summary ~name:"COGENT" ~base:"TC-tuned"
+    (List.map (fun (cg, tuned, _) -> (cg, tuned)) rows);
+  List.map (fun (_, _, entry) -> entry) rows
 
 let fig6 () = tc_comparison Arch.p100
 let fig7 () = tc_comparison Arch.v100
@@ -136,7 +198,8 @@ let fig8 () =
   let e = Tc_tccg.Suite.sd2_1 in
   let problem = Tc_tccg.Suite.problem e in
   let arch = Arch.v100 and prec = Precision.FP32 in
-  let cg = cogent_gflops arch prec problem in
+  let cg_plan = (cogent_result arch prec problem).Cogent.Driver.plan in
+  let cg = simulate cg_plan in
   let untuned = Tc_autotune.Tuner.untuned_gflops arch prec problem in
   let r = Tc_autotune.Tuner.tuned arch prec problem in
   Printf.printf "COGENT (model-driven, no tuning): %.0f GFLOPS\n" cg;
@@ -156,7 +219,20 @@ let fig8 () =
       then
         Printf.printf "%-10d %12.1f %12.1f\n" p.Tc_autotune.Genetic.evaluations
           p.Tc_autotune.Genetic.best_gflops p.Tc_autotune.Genetic.current_gflops)
-    r.Tc_autotune.Genetic.trace
+    r.Tc_autotune.Genetic.trace;
+  [
+    bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr arch prec
+      [
+        plan_strategy "cogent" cg_plan;
+        strat "tc_untuned" (finite "gflops" untuned);
+        strat "tc_tuned"
+          (finite "gflops" r.Tc_autotune.Genetic.best_gflops
+          @ [
+              ("evaluations", float_of_int r.Tc_autotune.Genetic.evaluations);
+            ]
+          @ finite "tuning_time_s" r.Tc_autotune.Genetic.tuning_time_s);
+      ];
+  ]
 
 (* ---- §IV-A3: pruning statistics ---- *)
 
@@ -167,7 +243,7 @@ let prunestats () =
     "contraction" "naive space" "enumerated" "kept" "pruned%" "vs naive" "hw"
     "perf";
   Report.hrule 100;
-  let stats = ref [] in
+  let stats = ref [] and entries = ref [] in
   let fractions =
     List.map
       (fun e ->
@@ -188,6 +264,22 @@ let prunestats () =
           e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr r.Cogent.Driver.naive_space
           s.Cogent.Prune.enumerated s.Cogent.Prune.kept pruned_pct vs_naive
           s.Cogent.Prune.hardware_rejects s.Cogent.Prune.performance_rejects;
+        entries :=
+          bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
+            Arch.v100 Precision.FP64
+            [
+              strat "search"
+                (finite "naive_space" r.Cogent.Driver.naive_space
+                @ [
+                    ("enumerated", float_of_int s.Cogent.Prune.enumerated);
+                    ("kept", float_of_int s.Cogent.Prune.kept);
+                    ( "hardware_rejects",
+                      float_of_int s.Cogent.Prune.hardware_rejects );
+                    ( "performance_rejects",
+                      float_of_int s.Cogent.Prune.performance_rejects );
+                  ]);
+            ]
+          :: !entries;
         (pruned_pct, vs_naive))
       Tc_tccg.Suite.all
   in
@@ -227,4 +319,5 @@ let prunestats () =
   Printf.printf
     "  %d rejections total; %d/%d entries needed performance-constraint \
      relaxation\n"
-    grand relaxed_entries (List.length !stats)
+    grand relaxed_entries (List.length !stats);
+  List.rev !entries

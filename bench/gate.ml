@@ -1,0 +1,88 @@
+(* Regression gate over the machine-readable bench reports.
+
+   Every harness target writes BENCH_<target>.json (see main.ml);
+   [baseline] merges those reports into one checked-in baseline file and
+   [diff] compares a fresh run against it with the per-metric tolerances of
+   [Tc_profile.Benchrep.default_tolerances], exiting nonzero on any
+   regression — the CI gate. *)
+
+module Benchrep = Tc_profile.Benchrep
+
+(* exit 1 = regression detected, exit 2 = inputs missing/unreadable *)
+
+let diff baseline_path =
+  let docs =
+    match
+      let ic = open_in_bin baseline_path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error e ->
+        Printf.eprintf "bench diff: cannot read baseline: %s\n" e;
+        exit 2
+    | contents -> (
+        match
+          Result.bind (Tc_obs.Json.parse contents) Benchrep.baseline_of_json
+        with
+        | Ok docs -> docs
+        | Error m ->
+            Printf.eprintf "bench diff: malformed baseline %s: %s\n"
+              baseline_path m;
+            exit 2)
+  in
+  let missing = ref false and regressed = ref false in
+  List.iter
+    (fun (b : Benchrep.doc) ->
+      let path = Benchrep.filename b.Benchrep.target in
+      match Benchrep.read ~path with
+      | Error m ->
+          Printf.eprintf
+            "bench diff: cannot read %s (%s); run `dune exec bench/main.exe \
+             -- %s` first\n"
+            path m b.Benchrep.target;
+          missing := true
+      | Ok current ->
+          let deltas = Benchrep.diff ~baseline:b current in
+          print_string (Benchrep.render_diff ~target:b.Benchrep.target deltas);
+          if Benchrep.regressions deltas <> [] then regressed := true)
+    docs;
+  if !missing then exit 2;
+  if !regressed then begin
+    prerr_endline "bench diff: regressions detected";
+    exit 1
+  end;
+  print_endline "bench diff: no regressions"
+
+(* Micro-benchmark timings are machine-dependent; keep them out of the
+   baseline so the gate only ever judges deterministic simulator and
+   search-space quantities. *)
+let baseline_excluded = [ "micro" ]
+
+let baseline ~targets out =
+  let docs =
+    List.filter_map
+      (fun target ->
+        if List.mem target baseline_excluded then None
+        else
+          let path = Benchrep.filename target in
+          match Benchrep.read ~path with
+          | Ok d -> Some d
+          | Error m ->
+              Printf.eprintf "bench baseline: skipping %s (%s)\n" path m;
+              None)
+      targets
+  in
+  if docs = [] then begin
+    Printf.eprintf
+      "bench baseline: no BENCH_*.json reports found; run the targets first\n";
+    exit 2
+  end;
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc
+        (Tc_obs.Json.to_string_pretty (Benchrep.baseline_to_json docs));
+      output_char oc '\n');
+  Printf.printf "wrote %s (%d target(s))\n" out (List.length docs)

@@ -3,7 +3,15 @@
    With no argument, regenerates every figure of the paper plus the pruning
    statistics and the code-generation micro-benchmarks.  Individual targets:
 
-     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|micro *)
+     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|micro
+
+   Each target also writes a machine-readable BENCH_<target>.json report
+   (schema cogent-bench/1, see Tc_profile.Benchrep).  Two extra
+   subcommands drive the regression gate:
+
+     dune exec bench/main.exe -- baseline OUT.json   merge reports into a baseline
+     dune exec bench/main.exe -- diff BASELINE.json  compare a run against it
+                                                     (exit 1 on regression) *)
 
 let targets =
   [
@@ -19,10 +27,24 @@ let targets =
 
 (* Each target runs under a span so the harness can report where the time
    went; the pipeline's own counters (plan-cache hits, prune rejections,
-   generations) accumulate in [Tc_obs.Metrics.global] as a side effect. *)
+   generations) accumulate in [Tc_obs.Metrics.global] as a side effect.
+   The entries the target returns are persisted as its BENCH report. *)
 let timed name f =
-  Tc_obs.Trace.with_span ~cat:"bench" name f;
-  Tc_obs.Metrics.incr (Tc_obs.Metrics.counter "bench.targets_run")
+  let entries = ref [] in
+  let t0 = Sys.time () in
+  Tc_obs.Trace.with_span ~cat:"bench" name (fun () -> entries := f ());
+  Tc_obs.Metrics.incr (Tc_obs.Metrics.counter "bench.targets_run");
+  let doc =
+    {
+      Tc_profile.Benchrep.target = name;
+      wall_s = Sys.time () -. t0;
+      entries = !entries;
+    }
+  in
+  let path = Tc_profile.Benchrep.filename name in
+  Tc_profile.Benchrep.write ~path doc;
+  Printf.printf "\n[report] wrote %s (%d entries)\n" path
+    (List.length !entries)
 
 let harness_report trace =
   Report.section "Harness report (wall time per target, pipeline metrics)";
@@ -37,11 +59,10 @@ let harness_report trace =
   Format.printf "%a@." Tc_obs.Metrics.pp
     (Tc_obs.Metrics.snapshot Tc_obs.Metrics.global)
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+let run_targets names =
   let trace = Tc_obs.Trace.make () in
   Tc_obs.Trace.install trace;
-  (match args with
+  (match names with
   | [] -> List.iter (fun (name, f) -> timed name f) targets
   | names ->
       List.iter
@@ -55,3 +76,12 @@ let () =
         names);
   Tc_obs.Trace.uninstall ();
   harness_report trace
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [ "diff"; baseline ] -> Gate.diff baseline
+  | [ "baseline"; out ] -> Gate.baseline ~targets:(List.map fst targets) out
+  | [ cmd ] when cmd = "diff" || cmd = "baseline" ->
+      Printf.eprintf "usage: bench %s FILE.json\n" cmd;
+      exit 2
+  | names -> run_targets names

@@ -44,6 +44,18 @@ let staged_tests =
     Test.make ~name:"generate-end-to-end/sd2_1" (Staged.stage (full problem_sd2));
   ]
 
+(* Stage timings are machine-dependent, so micro entries are reported in
+   BENCH_micro.json for trend-watching but the "ns_per_call" metric carries
+   no tolerance and the target is excluded from baselines (see main.ml). *)
+let stage_entry name t =
+  {
+    Tc_profile.Benchrep.name;
+    expr = "";
+    arch = "host";
+    precision = "n/a";
+    strategies = [ Figures.strat "bechamel" (Figures.finite "ns_per_call" t) ];
+  }
+
 let run () =
   Report.section
     "Code-generation time (Bechamel; model-driven COGENT vs hours of \
@@ -57,6 +69,7 @@ let run () =
   in
   Printf.printf "%-28s %15s\n" "stage" "time per call";
   Report.hrule 46;
+  let entries = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -71,7 +84,9 @@ let run () =
                 else if t > 1e3 then Printf.sprintf "%8.2f us" (t /. 1e3)
                 else Printf.sprintf "%8.0f ns" t
               in
-              Printf.printf "%-28s %15s\n" name pretty
+              Printf.printf "%-28s %15s\n" name pretty;
+              entries := stage_entry name t :: !entries
           | _ -> Printf.printf "%-28s %15s\n" name "n/a")
         results)
-    staged_tests
+    staged_tests;
+  List.rev !entries

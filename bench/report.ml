@@ -17,37 +17,50 @@ let section title =
   Printf.printf "%s\n" title;
   hrule 78
 
-(* Summarize speedups of one series over another. *)
+(* Summarize speedups of one series over another.  Empty series (a figure
+   whose filter matched nothing) and non-finite ratios (a zero or infinite
+   baseline) must not leak [nan] into the summary line. *)
 let speedup_summary ~name ~base rows =
-  let ratios = List.map (fun (a, b) -> a /. b) rows in
-  Printf.printf "%s vs %s: geomean %.2fx, max %.2fx\n" name base
-    (geomean ratios) (maximum ratios)
+  let ratios =
+    List.filter Float.is_finite (List.map (fun (a, b) -> a /. b) rows)
+  in
+  match ratios with
+  | [] -> Printf.printf "%s vs %s: n/a (no data)\n" name base
+  | _ ->
+      Printf.printf "%s vs %s: geomean %.2fx, max %.2fx\n" name base
+        (geomean ratios) (maximum ratios)
 
 (* Horizontal ASCII bars, one row per (label, series values), normalized to
-   the global maximum — a terminal rendering of the paper's bar charts. *)
+   the global maximum — a terminal rendering of the paper's bar charts.
+   When every value is zero (or there are no rows) there is nothing to
+   normalize against; print [n/a] bars instead of dividing by the epsilon
+   floor. *)
 let bar_chart ~series_names rows =
   let width = 40 in
   let maximum_value =
     List.fold_left
       (fun acc (_, vs) -> List.fold_left Float.max acc vs)
-      1e-9 rows
+      0.0 rows
   in
   let glyphs = [| '#'; '='; '.' |] in
   List.iteri
     (fun k name -> Printf.printf "  %c %s\n" glyphs.(k mod 3) name)
     series_names;
-  List.iter
-    (fun (label, values) ->
-      List.iteri
-        (fun k v ->
-          let n =
-            int_of_float
-              (Float.round (float_of_int width *. v /. maximum_value))
-          in
-          Printf.printf "%-8s %c %-*s %7.0f\n"
-            (if k = 0 then label else "")
-            glyphs.(k mod 3) width
-            (String.make (max 0 n) glyphs.(k mod 3))
-            v)
-        values)
-    rows
+  if rows = [] || maximum_value <= 0.0 || not (Float.is_finite maximum_value)
+  then print_endline "  n/a (no data to chart)"
+  else
+    List.iter
+      (fun (label, values) ->
+        List.iteri
+          (fun k v ->
+            let n =
+              int_of_float
+                (Float.round (float_of_int width *. v /. maximum_value))
+            in
+            Printf.printf "%-8s %c %-*s %7.0f\n"
+              (if k = 0 then label else "")
+              glyphs.(k mod 3) width
+              (String.make (max 0 (min width n)) glyphs.(k mod 3))
+              v)
+          values)
+      rows

@@ -6,8 +6,13 @@
               simulated performance
      explain  itemized cost-model breakdown: prune audit, per-tensor DRAM
               charges, occupancy limiter, simulator roofline
+     profile  simulated-hardware profiler: interpreter-measured counters
+              cross-validated against simulator and cost-model predictions
+              (--json for the machine-readable report, --trace FILE for a
+              Chrome-trace timeline of the simulated execution)
      bench    compare COGENT / NWChem-style / TAL_SH-style strategies on one
-              contraction or a TCCG suite entry
+              contraction or a TCCG suite entry (--json FILE writes the
+              cogent-bench/1 record the bench harness also emits)
      suite    list the TCCG benchmark entries
 
    Every subcommand accepts --trace FILE to record a pipeline trace as
@@ -227,28 +232,140 @@ let explain_cmd =
     Term.(const run $ trace_arg $ pos_expr $ expr_arg $ sizes_arg $ entry_arg
           $ arch_arg $ precision_arg $ top $ json)
 
+(* ---- profile ---- *)
+
+let profile_cmd =
+  let run pos_expr expr sizes entry arch precision json trace =
+    harness None @@ fun () ->
+    let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
+    let problem = or_die (resolve_problem expr sizes entry) in
+    let r =
+      or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
+    in
+    let prof = Tc_profile.Profile.profile r.Cogent.Driver.plan in
+    (match trace with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Tc_profile.Profile.timeline_chrome prof);
+        close_out oc;
+        Printf.eprintf "cogent: wrote simulated timeline to %s\n%!" path);
+    if json then
+      print_endline
+        (Tc_obs.Json.to_string_pretty (Tc_profile.Profile.to_json prof))
+    else print_string (Tc_profile.Profile.render prof)
+  in
+  let pos_expr =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPR"
+           ~doc:"The contraction (alternative to --expr).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the profile report as JSON instead of text.")
+  in
+  let timeline =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a timeline of the simulated execution (per-SM block \
+                 waves, GMEM->SMEM staging vs compute phases) to $(docv) as \
+                 Chrome trace_event JSON (chrome://tracing, Perfetto).")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~version
+       ~doc:"Profile the selected plan on the simulated hardware: \
+             interpreter-measured counters cross-validated against the \
+             simulator's exact transaction model and the Algorithm-3 cost \
+             estimate")
+    Term.(const run $ pos_expr $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
+          $ precision_arg $ json $ timeline)
+
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run trace expr sizes entry arch precision =
+  let run trace expr sizes entry arch precision json_file =
     harness trace @@ fun () ->
+    let t0 = Sys.time () in
     let problem = or_die (resolve_problem expr sizes entry) in
-    let cg =
-      simulate (Cogent.Driver.best_plan ~arch ~precision ~measure:simulate problem)
+    let cg_plan =
+      Cogent.Driver.best_plan ~arch ~precision ~measure:simulate problem
     in
-    let nw = simulate (Tc_nwchem.Nwgen.plan ~arch ~precision problem) in
-    let ts = (Tc_ttgt.Ttgt.run arch precision problem).Tc_ttgt.Ttgt.gflops in
+    let cg_sim = Tc_sim.Simkernel.run cg_plan in
+    let nw_plan = Tc_nwchem.Nwgen.plan ~arch ~precision problem in
+    let nw_sim = Tc_sim.Simkernel.run nw_plan in
+    let ts = Tc_ttgt.Ttgt.run arch precision problem in
+    let cg = cg_sim.Tc_sim.Simkernel.gflops
+    and nw = nw_sim.Tc_sim.Simkernel.gflops
+    and tsg = ts.Tc_ttgt.Ttgt.gflops in
     Format.printf "%a on %s (%a)@." Problem.pp problem arch.Arch.name
       Precision.pp precision;
     Format.printf "  COGENT        %8.0f GFLOPS@." cg;
     Format.printf "  NWChem-style  %8.0f GFLOPS  (%.2fx)@." nw (cg /. nw);
-    Format.printf "  TAL_SH-style  %8.0f GFLOPS  (%.2fx)@." ts (cg /. ts)
+    Format.printf "  TAL_SH-style  %8.0f GFLOPS  (%.2fx)@." tsg (cg /. tsg);
+    match json_file with
+    | None -> ()
+    | Some path ->
+        let strategy name (sim : Tc_sim.Simkernel.result) plan =
+          {
+            Tc_profile.Benchrep.strategy = name;
+            metrics =
+              [
+                ("gflops", sim.Tc_sim.Simkernel.gflops);
+                ("transactions", sim.Tc_sim.Simkernel.transactions);
+                ("cost", plan.Cogent.Plan.cost);
+              ];
+            config =
+              Some
+                (Format.asprintf "%a" Cogent.Mapping.pp
+                   plan.Cogent.Plan.mapping);
+          }
+        in
+        let entry_name =
+          match entry with
+          | Some n -> n
+          | None ->
+              Format.asprintf "%a" Tc_expr.Ast.pp
+                (Problem.info problem).Classify.original
+        in
+        let doc =
+          {
+            Tc_profile.Benchrep.target = "bench";
+            wall_s = Sys.time () -. t0;
+            entries =
+              [
+                {
+                  Tc_profile.Benchrep.name = entry_name;
+                  expr =
+                    Format.asprintf "%a" Tc_expr.Ast.pp
+                      (Problem.info problem).Classify.original;
+                  arch = arch.Arch.name;
+                  precision = Precision.to_string precision;
+                  strategies =
+                    [
+                      strategy "cogent" cg_sim cg_plan;
+                      strategy "nwchem" nw_sim nw_plan;
+                      {
+                        Tc_profile.Benchrep.strategy = "talsh";
+                        metrics = [ ("gflops", tsg) ];
+                        config = None;
+                      };
+                    ];
+                };
+              ];
+          }
+        in
+        Tc_profile.Benchrep.write ~path doc;
+        Printf.printf "wrote %s\n" path
+  in
+  let json_file =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+           ~doc:"Also write the comparison as a cogent-bench/1 JSON record \
+                 to $(docv) — the same per-strategy schema the bench \
+                 harness's BENCH_<target>.json files use.")
   in
   Cmd.v
     (Cmd.info "bench" ~version
        ~doc:"Compare execution strategies on one contraction")
     Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
-          $ precision_arg)
+          $ precision_arg $ json_file)
 
 (* ---- triples ---- *)
 
@@ -309,6 +426,9 @@ let suite_cmd =
 let main =
   let doc = "COGENT: a code generator for high-performance tensor contractions on GPUs" in
   Cmd.group (Cmd.info "cogent" ~version ~doc)
-    [ gen_cmd; plan_cmd; explain_cmd; bench_cmd; triples_cmd; suite_cmd ]
+    [
+      gen_cmd; plan_cmd; explain_cmd; profile_cmd; bench_cmd; triples_cmd;
+      suite_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -14,9 +14,43 @@
 
 open Tc_tensor
 
-val execute : Plan.t -> lhs:Dense.t -> rhs:Dense.t -> Dense.t
+type counters = {
+  mutable tx_lhs : float;
+      (** DRAM transactions loading the canonical lhs (all blocks, all
+          steps), counted with the {!Txcount} convention *)
+  mutable tx_rhs : float;
+  mutable tx_out : float;  (** DRAM transactions storing the output *)
+  mutable smem_bytes : float;
+      (** bytes staged into shared memory (padded slabs, every step) *)
+  mutable fma_padded : float;
+      (** FMA slots issued by the padded loop structure *)
+  mutable fma_useful : float;
+      (** FMAs contributing to an in-range output at an in-range k *)
+  mutable store_tx_block_max : float;
+      (** largest per-block store traffic, in transactions *)
+  mutable blocks : int;
+  mutable steps : int;
+}
+(** Ground-truth hardware counters for one execution of the emitted
+    schedule — the measured side of what {!Cost.estimate} and
+    {!Tc_sim.Simkernel.transactions_exact} predict.  Fields accumulate, so
+    one record can sink several executions. *)
+
+val create_counters : unit -> counters
+
+val execute :
+  ?counters:counters -> Plan.t -> lhs:Dense.t -> rhs:Dense.t -> Dense.t
 (** [execute plan ~lhs ~rhs] contracts the tensors given {e as written} in
     the original expression (any lhs/rhs canonicalization swap is resolved
     internally) and returns the output tensor in its declared layout.
+    When [counters] is given, the exact memory-access sequence of the
+    emitted schedule is replayed alongside the data pass and tallied into
+    it (the replay is value-independent, so it runs once per execution).
     @raise Invalid_argument if a tensor's shape does not match the plan's
     problem. *)
+
+val measure : Plan.t -> counters
+(** [measure plan] is the counter-only replay: the same per-(block, step)
+    schedule walk [execute ~counters] performs, without allocating or
+    touching tensor data — usable at full TCCG problem sizes where a data
+    execution would be prohibitive. *)

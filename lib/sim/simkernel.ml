@@ -64,76 +64,58 @@ let axis_of problem mapping i =
   let extent = Problem.extent problem i in
   { tile; extent; full = extent / tile; rem = extent mod tile }
 
-(* Transactions for one cooperative sweep over [elems] elements that are
-   grouped in contiguous global-memory runs of [run] elements, executed by
-   rows of [width] threads: per row, width/run segments each costing
-   ceil(run/ept) transactions. *)
-let sweep ~width ~elems ~run ~ept =
-  if elems <= 0 then 0.0
-  else
-    let width = min width elems in
-    let rows = ceil_div elems width in
-    let run = max 1 (min run width) in
-    let segments = ceil_div width run in
-    float_of_int (rows * segments * ceil_div run ept)
-
 (* Enumerate the full/partial boundary patterns of a tiled axis list.  Each
-   pattern carries the number of tile instances with that shape and the
-   effective (cut) tile per axis, preserving axis order and a caller-chosen
-   tag. *)
+   pattern carries the number of staged instances with that shape and, per
+   axis, the full axis descriptor, the in-range cut and a caller-chosen
+   tag, preserving axis order. *)
 let patterns axes =
   let rec go = function
     | [] -> [ (1.0, []) ]
     | (ax, tag) :: rest ->
         let tails = go rest in
         List.concat_map
-          (fun (cnt, tiles) ->
+          (fun (cnt, cuts) ->
             let full =
               if ax.full > 0 then
-                [
-                  ( cnt *. float_of_int ax.full,
-                    (ax.tile, ax.extent, tag) :: tiles );
-                ]
+                [ (cnt *. float_of_int ax.full, (ax, ax.tile, tag) :: cuts) ]
               else []
             in
             let partial =
-              if ax.rem > 0 then
-                [ (cnt, (ax.rem, ax.extent, tag) :: tiles) ]
-              else []
+              if ax.rem > 0 then [ (cnt, (ax, ax.rem, tag) :: cuts) ] else []
             in
             full @ partial)
           tails
   in
   go axes
 
-(* Contiguous-run length of a cut tile in layout order: the run extends
-   across an axis only when the tile covers the full extent. *)
-let run_of_tiles tiles =
-  let rec go acc = function
-    | [] -> acc
-    | (t, n) :: rest -> if t = n then go (acc * t) rest else acc * t
-  in
-  go 1 tiles
-
-(* Transactions to load every staged instance of one input tensor: the
-   boundary-pattern enumeration over the tensor's own axes yields exactly
-   one term per distinct (block-slice, step) instance; blocks that differ
-   only in external indices foreign to this tensor re-load the same slab. *)
+(* Transactions to load every staged instance of one input tensor, counted
+   with the shared convention of {!Cogent.Txcount}: per boundary pattern,
+   walk the padded cooperative sweep the emitted kernel executes (operand
+   layout order, waves of [width] threads, out-of-range lanes masked) and
+   weight by the number of (block-slice, step) instances with that shape.
+   Blocks that differ only in external indices foreign to this tensor
+   re-load the same slab (the foreign-block multiplier of the caller). *)
 let load_transactions ~ept ~width problem mapping indices =
   let axes = List.map (fun i -> (axis_of problem mapping i, ())) indices in
   List.fold_left
-    (fun acc (cnt, tiles) ->
-      let elems = List.fold_left (fun a (t, _, ()) -> a * t) 1 tiles in
-      let run = run_of_tiles (List.map (fun (t, n, ()) -> (t, n)) tiles) in
-      acc +. (cnt *. sweep ~width ~elems ~run ~ept))
+    (fun acc (cnt, cuts) ->
+      let _, rev_axes =
+        List.fold_left
+          (fun (stride, out) (ax, cut, ()) ->
+            (stride * ax.extent, { Txcount.tile = ax.tile; cut; stride } :: out))
+          (1, []) cuts
+      in
+      let tx_axes = Array.of_list (List.rev rev_axes) in
+      acc +. (cnt *. float_of_int (Txcount.staged_sweep ~width ~ept tx_axes)))
     0.0 (patterns axes)
 
 type ext_dim = Dtbx | Dtby | Dregx | Dregy | Dgrid
 
-(* Transactions to store the output: one guarded sweep of the in-range part
-   of the TBx*TBy thread grid per in-range register coordinate; within a
-   sweep only thread-mapped (TBx/TBy) coordinates vary, and memory
-   contiguity follows the TBx-mapped prefix of the output layout. *)
+(* Transactions to store the output: one warp-synchronous wave of the full
+   TBx*TBy thread grid per in-range register coordinate.  Threads enumerate
+   the tbx bindings (fastest) then the tby bindings, address the output in
+   its declared layout, and out-of-range threads are masked by the store
+   guard — the same {!Cogent.Txcount} walk the interpreter measures. *)
 let store_transactions ~ept problem mapping =
   let info = Problem.info problem in
   let dim_of i =
@@ -144,28 +126,41 @@ let store_transactions ~ept problem mapping =
     else if mem mapping.Mapping.regy then Dregy
     else Dgrid
   in
+  let out_shape = Problem.out_shape problem in
+  let width = Mapping.threads_per_block mapping in
   let axes =
     List.map
-      (fun i -> (axis_of problem mapping i, dim_of i))
+      (fun i -> (axis_of problem mapping i, (i, dim_of i)))
       info.Classify.externals
   in
   List.fold_left
-    (fun acc (cnt, tiles) ->
-      let prod dims =
+    (fun acc (cnt, cuts) ->
+      let cut_of i =
+        match
+          List.find_opt (fun (_, _, (j, _)) -> Index.equal i j) cuts
+        with
+        | Some (_, c, _) -> c
+        | None -> 1
+      in
+      let thread_axes =
+        List.map
+          (fun b ->
+            {
+              Txcount.tile = b.Mapping.tile;
+              cut = cut_of b.Mapping.index;
+              stride = Shape.stride out_shape b.Mapping.index;
+            })
+          (mapping.Mapping.tbx @ mapping.Mapping.tby)
+        |> Array.of_list
+      in
+      let wave = Txcount.staged_sweep ~width ~ept thread_axes in
+      let reg_coords =
         List.fold_left
-          (fun a (t, _, d) -> if List.mem d dims then a * t else a)
-          1 tiles
+          (fun a (_, c, (_, d)) ->
+            if d = Dregx || d = Dregy then a * c else a)
+          1 cuts
       in
-      let elems = prod [ Dtbx; Dtby ] in
-      let sweeps = prod [ Dregx; Dregy ] in
-      let run =
-        run_of_tiles
-          (List.filter_map
-             (fun (t, n, d) -> if d = Dtbx then Some (t, n) else None)
-             tiles)
-      in
-      acc
-      +. cnt *. float_of_int sweeps *. sweep ~width:elems ~elems ~run ~ept)
+      acc +. (cnt *. float_of_int reg_coords *. float_of_int wave))
     0.0 (patterns axes)
 
 (* DRAM-equivalent transactions for one input tensor: when the whole

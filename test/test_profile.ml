@@ -1,0 +1,430 @@
+(* Cross-validation of Tc_profile and its foundations: the Txcount
+   transaction convention, the interpreter's ground-truth counters vs the
+   simulator's boundary-exact prediction (they must agree EXACTLY — both
+   sides count the same convention, so any gap is a bug in the simulator's
+   pattern combinatorics), the rendered profiler report (golden), and the
+   machine-readable bench report schema with its regression gate. *)
+
+open Tc_gpu
+open Tc_expr
+open Cogent
+module Json = Tc_obs.Json
+module Profile = Tc_profile.Profile
+module Benchrep = Tc_profile.Benchrep
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ---- Txcount: the shared transaction-counting convention ---- *)
+
+let axis tile cut stride = { Txcount.tile; cut; stride }
+let sweep = Txcount.staged_sweep
+
+let test_txcount_contiguous () =
+  (* one wave of 32 contiguous fp64 elements spans two 128-byte lines *)
+  check Alcotest.int "full contiguous" 2 (sweep ~width:32 ~ept:16 [| axis 32 32 1 |]);
+  (* masked tail lanes shorten the segment *)
+  check Alcotest.int "partial contiguous" 2 (sweep ~width:32 ~ept:16 [| axis 32 20 1 |]);
+  check Alcotest.int "within one line" 1 (sweep ~width:32 ~ept:16 [| axis 32 10 1 |]);
+  check Alcotest.int "cut=0 masks everything" 0
+    (sweep ~width:32 ~ept:16 [| axis 32 0 1 |])
+
+let test_txcount_strided () =
+  (* a 8x4 slab of a row-major tensor: four address-disjoint rows, each
+     its own segment under one line *)
+  check Alcotest.int "row-major slab" 4
+    (sweep ~width:32 ~ept:16 [| axis 8 8 1; axis 4 4 100 |])
+
+let test_txcount_no_cross_wave_coalescing () =
+  (* 32 contiguous elements in one 128-byte line: one wave of 32 threads
+     needs one transaction, but two waves of 16 threads pay twice even
+     though the addresses are adjacent (a later iteration of the
+     cooperative loop is a separate memory operation) *)
+  check Alcotest.int "one wave, one line" 1 (sweep ~width:32 ~ept:32 [| axis 32 32 1 |]);
+  check Alcotest.int "two waves, two lines" 2 (sweep ~width:16 ~ept:32 [| axis 32 32 1 |])
+
+let test_txcount_guard_gap_splits_segment () =
+  (* boundary guards mask the middle of a wave; the in-range runs on
+     either side are separate segments because their addresses are not
+     adjacent *)
+  check Alcotest.int "masked gap" 2
+    (sweep ~width:8 ~ept:16 [| axis 4 2 1; axis 2 2 4 |]);
+  check Alcotest.int "no gap when full" 1
+    (sweep ~width:8 ~ept:16 [| axis 4 4 1; axis 2 2 4 |])
+
+(* ---- measured counters == simulator-exact prediction ---- *)
+
+(* A spread of enumerated configurations for a problem: with Gen's extents
+   in 1..6 and power-of-two tile targets, most sampled plans have partial
+   boundary tiles on several axes. *)
+let sample_mappings problem =
+  match Enumerate.enumerate problem with
+  | [] -> []
+  | all ->
+      let n = List.length all in
+      List.sort_uniq compare [ 0; n / 2; n - 1 ]
+      |> List.map (fun k -> List.nth all k)
+
+let agree_case (c : Gen.case) =
+  let problem = c.Gen.problem in
+  List.iter
+    (fun mapping ->
+      let plan =
+        Plan.make ~problem ~mapping ~arch:Arch.v100 ~precision:Precision.FP64
+      in
+      let m = Interp.measure plan in
+      let e =
+        Tc_sim.Simkernel.transactions_exact Precision.FP64 problem mapping
+      in
+      if
+        not
+          (m.Interp.tx_lhs = e.Cost.lhs
+          && m.Interp.tx_rhs = e.Cost.rhs
+          && m.Interp.tx_out = e.Cost.out)
+      then
+        QCheck.Test.fail_reportf
+          "measured (%g,%g,%g) <> exact (%g,%g,%g) for %a under %a"
+          m.Interp.tx_lhs m.Interp.tx_rhs m.Interp.tx_out e.Cost.lhs e.Cost.rhs
+          e.Cost.out Problem.pp problem Mapping.pp mapping;
+      if m.Interp.fma_useful <> Plan.flops plan /. 2.0 then
+        QCheck.Test.fail_reportf "useful FMAs %g <> flops/2 %g for %a"
+          m.Interp.fma_useful
+          (Plan.flops plan /. 2.0)
+          Problem.pp problem;
+      if m.Interp.fma_padded < m.Interp.fma_useful then
+        QCheck.Test.fail_reportf "padded FMA slots below useful FMAs for %a"
+          Problem.pp problem)
+    (sample_mappings problem);
+  true
+
+let prop_measured_eq_exact =
+  QCheck.Test.make ~count:40
+    ~name:"Interp.measure == Simkernel.transactions_exact (no-L2)"
+    Gen.case_arbitrary agree_case
+
+(* execute ?counters must tally exactly what the standalone replay does,
+   and fields must accumulate across executions. *)
+let test_execute_counters () =
+  let problem =
+    Problem.of_string_exn "abcd-aebf-dfce"
+      ~sizes:[ ('a', 6); ('b', 5); ('c', 4); ('d', 7); ('e', 3); ('f', 2) ]
+  in
+  let b idx tile = { Mapping.index = idx; tile } in
+  let mapping =
+    {
+      Mapping.tbx = [ b 'a' 4 ];
+      regx = [ b 'b' 2 ];
+      tby = [ b 'd' 4 ];
+      regy = [ b 'c' 2 ];
+      tbk = [ b 'e' 2; b 'f' 2 ];
+      grid = [];
+    }
+  in
+  let plan =
+    Plan.make ~problem ~mapping ~arch:Arch.v100 ~precision:Precision.FP64
+  in
+  let info = Problem.info problem in
+  let orig = info.Tc_expr.Classify.original in
+  let shape_of indices =
+    Tc_tensor.Shape.of_indices ~sizes:(Problem.sizes problem) indices
+  in
+  let lhs =
+    Tc_tensor.Dense.random ~seed:11 (shape_of orig.Ast.lhs.Ast.indices)
+  in
+  let rhs =
+    Tc_tensor.Dense.random ~seed:12 (shape_of orig.Ast.rhs.Ast.indices)
+  in
+  let c = Interp.create_counters () in
+  ignore (Interp.execute ~counters:c plan ~lhs ~rhs);
+  let m = Interp.measure plan in
+  let eq what a b = check (Alcotest.float 0.0) what a b in
+  eq "tx_lhs" m.Interp.tx_lhs c.Interp.tx_lhs;
+  eq "tx_rhs" m.Interp.tx_rhs c.Interp.tx_rhs;
+  eq "tx_out" m.Interp.tx_out c.Interp.tx_out;
+  eq "smem_bytes" m.Interp.smem_bytes c.Interp.smem_bytes;
+  eq "fma_padded" m.Interp.fma_padded c.Interp.fma_padded;
+  eq "fma_useful" m.Interp.fma_useful c.Interp.fma_useful;
+  eq "store_tx_block_max" m.Interp.store_tx_block_max c.Interp.store_tx_block_max;
+  check Alcotest.int "blocks" m.Interp.blocks c.Interp.blocks;
+  ignore (Interp.execute ~counters:c plan ~lhs ~rhs);
+  eq "tx_lhs accumulates" (2.0 *. m.Interp.tx_lhs) c.Interp.tx_lhs;
+  check Alcotest.int "steps accumulate" (2 * m.Interp.steps) c.Interp.steps
+
+(* ---- the profiler on the DESIGN eq1 contraction ---- *)
+
+let golden_path file =
+  let beside_exe =
+    Filename.concat (Filename.dirname Sys.executable_name)
+      (Filename.concat "golden" file)
+  in
+  if Sys.file_exists beside_exe then beside_exe
+  else if Sys.file_exists (Filename.concat "golden" file) then
+    Filename.concat "golden" file
+  else Filename.concat "test/golden" file
+
+let read_golden file =
+  let ic = open_in (golden_path file) in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let eq1 =
+  Problem.of_string_exn "abcd-aebf-dfce"
+    ~sizes:[ ('a', 48); ('b', 48); ('c', 48); ('d', 48); ('e', 32); ('f', 32) ]
+
+let profile_eq1 = lazy (Profile.profile (Driver.best_plan eq1))
+
+let test_profile_eq1_golden () =
+  let p = Lazy.force profile_eq1 in
+  check Alcotest.string "golden profile report"
+    (read_golden "profile_eq1.txt")
+    (Profile.render p)
+
+let test_profile_eq1_contracts () =
+  let p = Lazy.force profile_eq1 in
+  check Alcotest.bool "simulator agrees exactly" true (Profile.sim_agrees p);
+  check Alcotest.bool "cost model within documented bound" true
+    (Profile.violations p = []);
+  (match Json.parse (Json.to_string (Profile.to_json p)) with
+  | Ok _ -> ()
+  | Error e -> fail ("profile JSON does not parse: " ^ e));
+  match Json.parse (Profile.timeline_chrome p) with
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> fail "timeline has no traceEvents")
+  | Error e -> fail ("timeline is not valid chrome JSON: " ^ e)
+
+(* ---- bench report schema and regression gate ---- *)
+
+(* Metric values chosen to survive the %g round-trip exactly. *)
+let sample_doc =
+  {
+    Benchrep.target = "figX";
+    wall_s = 1.5;
+    entries =
+      [
+        {
+          Benchrep.name = "e1";
+          expr = "ab-ac-cb";
+          arch = "V100";
+          precision = "fp64";
+          strategies =
+            [
+              {
+                Benchrep.strategy = "cogent";
+                metrics =
+                  [ ("gflops", 123.5); ("transactions", 4096.0); ("cost", 5000.0) ];
+                config = Some "TBx[a:16] TBy[b:16] TBk[c:8]";
+              };
+              {
+                Benchrep.strategy = "talsh";
+                metrics = [ ("gflops", 50.25) ];
+                config = None;
+              };
+            ];
+        };
+      ];
+  }
+
+let test_benchrep_roundtrip () =
+  (match Result.bind (Json.parse (Json.to_string (Benchrep.to_json sample_doc)))
+           Benchrep.of_json
+   with
+  | Ok d -> check Alcotest.bool "doc roundtrip" true (d = sample_doc)
+  | Error e -> fail ("doc roundtrip: " ^ e));
+  match
+    Result.bind
+      (Json.parse (Json.to_string (Benchrep.baseline_to_json [ sample_doc ])))
+      Benchrep.baseline_of_json
+  with
+  | Ok ds -> check Alcotest.bool "baseline roundtrip" true (ds = [ sample_doc ])
+  | Error e -> fail ("baseline roundtrip: " ^ e)
+
+let test_benchrep_file_roundtrip () =
+  let path = Filename.temp_file "benchrep" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Benchrep.write ~path sample_doc;
+      match Benchrep.read ~path with
+      | Ok d -> check Alcotest.bool "write/read roundtrip" true (d = sample_doc)
+      | Error e -> fail ("read back: " ^ e))
+
+let with_gflops v doc =
+  {
+    doc with
+    Benchrep.entries =
+      List.map
+        (fun (e : Benchrep.entry) ->
+          {
+            e with
+            strategies =
+              List.map
+                (fun (s : Benchrep.strategy) ->
+                  {
+                    s with
+                    metrics =
+                      List.map
+                        (fun (m, x) -> if m = "gflops" then (m, v) else (m, x))
+                        s.metrics;
+                  })
+                e.strategies;
+          })
+        doc.Benchrep.entries;
+  }
+
+let verdicts deltas =
+  List.map (fun d -> (d.Benchrep.metric, d.Benchrep.verdict)) deltas
+
+let test_diff_gate () =
+  (* identical run: nothing regresses *)
+  let same = Benchrep.diff ~baseline:sample_doc sample_doc in
+  check Alcotest.bool "identical run has no regressions" true
+    (Benchrep.regressions same = []);
+  (* 10% slower than baseline: gflops regresses in both strategies *)
+  let slower = Benchrep.diff ~baseline:sample_doc (with_gflops 110.0 sample_doc) in
+  check Alcotest.int "slower run regresses once (per strategy with gflops > tol)"
+    1
+    (List.length
+       (List.filter
+          (fun d -> d.Benchrep.verdict = Benchrep.Regression)
+          slower));
+  (* faster is an improvement, not a regression *)
+  let faster = Benchrep.diff ~baseline:sample_doc (with_gflops 140.0 sample_doc) in
+  check Alcotest.bool "faster run has no regressions" true
+    (Benchrep.regressions faster = []);
+  check Alcotest.bool "faster run reports improvements" true
+    (List.exists (fun d -> d.Benchrep.verdict = Benchrep.Improvement) faster);
+  (* a vanished strategy is fatal *)
+  let gone =
+    {
+      sample_doc with
+      Benchrep.entries =
+        List.map
+          (fun (e : Benchrep.entry) ->
+            {
+              e with
+              strategies =
+                List.filter
+                  (fun (s : Benchrep.strategy) -> s.strategy <> "talsh")
+                  e.strategies;
+            })
+          sample_doc.Benchrep.entries;
+    }
+  in
+  let missing = Benchrep.diff ~baseline:sample_doc gone in
+  check Alcotest.bool "missing strategy is a regression" true
+    (List.exists
+       (fun d -> d.Benchrep.verdict = Benchrep.Missing)
+       (Benchrep.regressions missing));
+  ignore (verdicts missing)
+
+let test_diff_ungated_metric () =
+  (* metrics without a tolerance entry are reported nowhere: informational
+     quantities (timings, evaluation counts) never gate *)
+  let doc =
+    {
+      sample_doc with
+      Benchrep.entries =
+        List.map
+          (fun (e : Benchrep.entry) ->
+            {
+              e with
+              strategies =
+                List.map
+                  (fun (s : Benchrep.strategy) ->
+                    { s with metrics = ("ns_per_call", 1234.0) :: s.metrics })
+                  e.strategies;
+            })
+          sample_doc.Benchrep.entries;
+    }
+  in
+  let deltas = Benchrep.diff ~baseline:doc (with_gflops 123.5 doc) in
+  check Alcotest.bool "ns_per_call produces no delta" true
+    (not (List.exists (fun d -> d.Benchrep.metric = "ns_per_call") deltas))
+
+let test_diff_exact_tolerance () =
+  (* enumerated/kept are Exact: any drift beyond float slack regresses,
+     in either direction *)
+  let base =
+    {
+      Benchrep.target = "prunestats";
+      wall_s = 0.0;
+      entries =
+        [
+          {
+            Benchrep.name = "e1";
+            expr = "ab-ac-cb";
+            arch = "V100";
+            precision = "fp64";
+            strategies =
+              [
+                {
+                  Benchrep.strategy = "search";
+                  metrics = [ ("enumerated", 1000.0); ("kept", 30.0) ];
+                  config = None;
+                };
+              ];
+          };
+        ];
+    }
+  in
+  let bump v =
+    {
+      base with
+      Benchrep.entries =
+        List.map
+          (fun (e : Benchrep.entry) ->
+            {
+              e with
+              strategies =
+                List.map
+                  (fun (s : Benchrep.strategy) ->
+                    { s with metrics = [ ("enumerated", 1000.0); ("kept", v) ] })
+                  e.strategies;
+            })
+          base.Benchrep.entries;
+    }
+  in
+  check Alcotest.bool "exact metric: equal passes" true
+    (Benchrep.regressions (Benchrep.diff ~baseline:base (bump 30.0)) = []);
+  check Alcotest.bool "exact metric: more kept still regresses" true
+    (Benchrep.regressions (Benchrep.diff ~baseline:base (bump 31.0)) <> []);
+  check Alcotest.bool "exact metric: fewer kept regresses" true
+    (Benchrep.regressions (Benchrep.diff ~baseline:base (bump 29.0)) <> [])
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "txcount",
+        [
+          Alcotest.test_case "contiguous" `Quick test_txcount_contiguous;
+          Alcotest.test_case "strided" `Quick test_txcount_strided;
+          Alcotest.test_case "no cross-wave coalescing" `Quick
+            test_txcount_no_cross_wave_coalescing;
+          Alcotest.test_case "guard gap splits segment" `Quick
+            test_txcount_guard_gap_splits_segment;
+        ] );
+      ( "cross-validation",
+        [
+          Gen.to_alcotest prop_measured_eq_exact;
+          Alcotest.test_case "execute ?counters" `Quick test_execute_counters;
+        ] );
+      ( "profiler",
+        [
+          Alcotest.test_case "golden report" `Quick test_profile_eq1_golden;
+          Alcotest.test_case "accuracy contracts" `Quick
+            test_profile_eq1_contracts;
+        ] );
+      ( "benchrep",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_benchrep_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_benchrep_file_roundtrip;
+          Alcotest.test_case "diff gate" `Quick test_diff_gate;
+          Alcotest.test_case "ungated metrics" `Quick test_diff_ungated_metric;
+          Alcotest.test_case "exact tolerance" `Quick test_diff_exact_tolerance;
+        ] );
+    ]
