@@ -133,16 +133,24 @@ let harness trace f =
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run trace expr sizes entry arch precision output standalone opencl =
+  let run trace expr sizes entry arch precision output standalone opencl
+      dialect =
     harness trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
       or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
     in
+    let dialect = if opencl then Cogent.Codegen.Opencl else dialect in
+    let plan = r.Cogent.Driver.plan in
     let src =
-      if opencl then Cogent.Codegen.emit_opencl r.Cogent.Driver.plan
-      else if standalone then Cogent.Codegen.emit_standalone r.Cogent.Driver.plan
-      else Cogent.Driver.cuda_source r
+      match (dialect, standalone) with
+      | Cogent.Codegen.Cuda, false -> Cogent.Driver.cuda_source r
+      | Cogent.Codegen.Cuda, true -> Cogent.Codegen.emit_standalone plan
+      | Cogent.Codegen.Opencl, false -> Cogent.Codegen.emit_opencl plan
+      | Cogent.Codegen.Opencl, true ->
+          or_die (Error "--standalone is not available for the OpenCL dialect")
+      | Cogent.Codegen.C_host, false -> Cogent.Codegen.emit_c plan
+      | Cogent.Codegen.C_host, true -> Cogent.Codegen.emit_c_standalone plan
     in
     match output with
     | None -> print_string src
@@ -154,17 +162,35 @@ let gen_cmd =
   in
   let standalone =
     Arg.(value & flag & info [ "standalone" ]
-           ~doc:"Emit a self-contained .cu with a benchmarking main().")
+           ~doc:"Emit a self-contained translation unit with a main(): a \
+                 benchmarking .cu for the CUDA dialect, a runnable .c (prints \
+                 the output tensor) for the C dialect.")
   in
   let opencl =
     Arg.(value & flag & info [ "opencl" ]
-           ~doc:"Emit an OpenCL kernel (.cl) instead of CUDA.")
+           ~doc:"Deprecated alias for --dialect opencl.")
+  in
+  let dialect =
+    let parse = function
+      | "cuda" -> Ok Cogent.Codegen.Cuda
+      | "opencl" | "cl" -> Ok Cogent.Codegen.Opencl
+      | "c" | "c-host" -> Ok Cogent.Codegen.C_host
+      | s -> Error (`Msg (Printf.sprintf "unknown dialect %S (cuda|opencl|c)" s))
+    in
+    let print fmt d =
+      Format.pp_print_string fmt (Cogent.Codegen.dialect_name d)
+    in
+    Arg.(value & opt (conv (parse, print)) Cogent.Codegen.Cuda
+         & info [ "dialect" ] ~docv:"DIALECT"
+             ~doc:"Output dialect: cuda, opencl, or c (a host-C translation \
+                   unit that emulates the thread grid with loops and runs on \
+                   the CPU).")
   in
   Cmd.v
     (Cmd.info "gen" ~version
-       ~doc:"Generate CUDA (or OpenCL) for a tensor contraction")
+       ~doc:"Generate CUDA, OpenCL or host-C for a tensor contraction")
     Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
-          $ precision_arg $ output_arg $ standalone $ opencl)
+          $ precision_arg $ output_arg $ standalone $ opencl $ dialect)
 
 (* ---- plan ---- *)
 

@@ -1,9 +1,15 @@
-(** CUDA C code generation (Algorithm 1).
+(** Code generation (Algorithm 1), lowered through the typed kernel IR.
 
     Emits, for a given plan, a kernel with the four-phase structure of the
     paper — cooperative GMEM→SMEM staging of input slabs, SMEM→register
     vector loads, register-tile outer products over the serial TB_k sweep,
     and guarded coalesced stores — plus a host-side launcher.
+
+    Since the IR refactor, every [emit*] entry point is a thin wrapper:
+    {!lower} encodes Algorithm 1 once as a [Tc_kir.Ir.kernel], a
+    [Tc_kir.Print] dialect renders it, and [Tc_kir.Check.cross_validate]
+    asserts at emission time that the shared-memory footprint and register
+    estimate derived from the IR match the plan's predictions.
 
     Tile sizes, thread-block shape and shared-memory footprints are baked in
     as compile-time constants (they define the configuration); tensor
@@ -11,7 +17,7 @@
     arbitrary problem sizes and the representative size only drives the
     configuration choice (§IV-B). *)
 
-type dialect = Cuda | Opencl
+type dialect = Tc_kir.Print.dialect = Cuda | Opencl | C_host
 
 val dialect_name : dialect -> string
 
@@ -19,11 +25,21 @@ val kernel_name : Plan.t -> string
 (** A C identifier derived from the TCCG string of the contraction,
     e.g. ["cogent_abcd_aebf_dfce"]. *)
 
+val spec_of_plan : ?name:string -> Plan.t -> Tc_kir.Ir.spec
+(** The self-contained lowering input extracted from a plan: operand
+    layouts, index classes, mapping bindings and representative extents. *)
+
+val lower : ?name:string -> Plan.t -> Tc_kir.Ir.kernel
+(** [Plan.t → Tc_kir.kernel]: the single encoding of Algorithm 1
+    ([Tc_kir.Lower.kernel ∘ spec_of_plan]). *)
+
 val emit_kernel : ?name:string -> ?dialect:dialect -> Plan.t -> string
 (** The kernel definition only ([__global__] CUDA by default; with
     [~dialect:Opencl] an OpenCL [__kernel] using [__local] staging and
-    [barrier] synchronization — the OpenCL back end the paper lists as
-    future work). *)
+    [barrier] synchronization; with [~dialect:C_host] plain C that emulates
+    the thread grid with loops and runs on the CPU).
+    @raise Invalid_argument if the IR-derived resource footprint disagrees
+    with the plan (see [Tc_kir.Check.cross_validate]). *)
 
 val emit_launcher : ?name:string -> Plan.t -> string
 (** An [extern "C"] host function computing the grid decomposition and
@@ -42,3 +58,15 @@ val emit_opencl : ?name:string -> Plan.t -> string
 (** A complete [.cl] translation unit: header comment, the OpenCL kernel,
     and a comment documenting the NDRange launch geometry
     (global/local work sizes) the host must use. *)
+
+val emit_c : ?name:string -> Plan.t -> string
+(** A complete [.c] translation unit in the C-host dialect: header comment,
+    a note on the loop-based execution model, and the kernel as a plain C
+    function. *)
+
+val emit_c_standalone : ?name:string -> Plan.t -> string
+(** {!emit_c} plus includes and a [main] that fills the inputs with the
+    deterministic [Tc_kir.Print.host_fill] pattern, runs the contraction on
+    the CPU at the representative extents (overridable via argv) and prints
+    every output element — the executable form the numeric tests diff
+    against [Tensor.Contract_ref]. *)

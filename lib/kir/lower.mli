@@ -1,0 +1,11 @@
+(** The single lowering of Algorithm 1 onto the kernel IR.
+
+    [kernel spec] builds the four-phase contraction kernel for one
+    configuration: cooperative GMEM→SMEM staging of the two input slabs,
+    SMEM→register vector loads, register-tile outer products over the serial
+    TB_k sweep, and guarded coalesced stores.  Tile sizes and thread-block
+    shape are baked in as compile-time constants; tensor extents stay
+    runtime parameters ([N_i]), exactly as in the string emitter this
+    replaces.  All dialect choices are deferred to {!Print}. *)
+
+val kernel : Ir.spec -> Ir.kernel

@@ -1,0 +1,86 @@
+open Ir
+
+let map_phases f k =
+  {
+    k with
+    grid_setup = f k.grid_setup;
+    block_setup = f k.block_setup;
+    step_counts = f k.step_counts;
+    thread_init = f k.thread_init;
+    acc_init = f k.acc_init;
+    step_setup = f k.step_setup;
+    stage = f k.stage;
+    compute = f k.compute;
+    store = f k.store;
+  }
+
+let eliminate_guards k =
+  let s = k.spec in
+  let droppable_extent n =
+    String.length n = 3
+    && n.[0] = 'N'
+    && n.[1] = '_'
+    &&
+    let i = n.[2] in
+    let tile = match tile_of s i with t -> Some t | exception Not_found -> None in
+    match (List.assoc_opt i s.extents, tile) with
+    | Some e, Some t -> e mod t = 0
+    | _ -> false
+  in
+  let changed = ref false in
+  (* conjunction simplifier: [None] means trivially true *)
+  let rec simp e =
+    match e with
+    | And (a, b) -> (
+        match (simp a, simp b) with
+        | None, x | x, None -> x
+        | Some a', Some b' -> Some (And (a', b')))
+    | Lt (_, Var n) when droppable_extent n ->
+        changed := true;
+        None
+    | e -> Some e
+  in
+  (* names of guard flags whose condition turned out trivially true *)
+  let true_flags = Hashtbl.create 4 in
+  let drop_select stmts =
+    map_expr
+      (function
+        | Select (Var n, a, _) when Hashtbl.mem true_flags n ->
+            changed := true;
+            a
+        | e -> e)
+      stmts
+  in
+  let rec rw stmts =
+    List.concat_map
+      (fun st ->
+        match st with
+        | Decl ({ ty = Bool; init = Some g; _ } as d) -> (
+            match simp g with
+            | None ->
+                Hashtbl.replace true_flags d.name ();
+                []
+            | Some g' -> [ Decl { d with init = Some g' } ])
+        | If (c, body) -> (
+            match simp c with
+            | None -> rw body
+            | Some c' -> [ If (c', rw body) ])
+        | For f -> [ For { f with body = rw f.body } ]
+        | Scope body -> [ Scope (rw body) ]
+        | st -> drop_select [ st ])
+      stmts
+  in
+  let k' = map_phases rw k in
+  (k', !changed)
+
+let specialize k =
+  let s = k.spec in
+  let subst = function
+    | Var n as e
+      when String.length n = 3 && n.[0] = 'N' && n.[1] = '_' -> (
+        match List.assoc_opt n.[2] s.extents with
+        | Some v -> Int_lit v
+        | None -> e)
+    | e -> e
+  in
+  map_phases (map_expr subst) k

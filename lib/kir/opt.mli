@@ -1,0 +1,21 @@
+(** IR-level transformation passes.
+
+    Both passes exploit the representative extents recorded in the spec.
+    Because extents are runtime parameters in the emitted code, eliminating
+    a boundary guard based on the representative size is only sound for a
+    kernel whose extents have been baked in — so the compile-ready
+    combination is [eliminate_guards] followed by {!specialize} (the former
+    matches on the [N_i] parameter names the latter substitutes away). *)
+
+val eliminate_guards : Ir.kernel -> Ir.kernel * bool
+(** Peephole on boundary guards: drops every conjunct
+    [(base_i + local_i < N_i)] whose index has [extent mod tile = 0] — such
+    a chunk never hangs over the edge.  Guards that become trivially true
+    disappear entirely (the staging select collapses to an unconditional
+    load, the store loses its [if]).  The boolean reports whether anything
+    fired. *)
+
+val specialize : Ir.kernel -> Ir.kernel
+(** Substitutes each extent parameter [N_i] with its representative value as
+    an integer literal throughout the kernel body.  The parameter list is
+    unchanged (arguments are simply ignored), so callers need not change. *)

@@ -1,0 +1,289 @@
+open Tc_gpu
+open Ir
+
+type dialect = Cuda | Opencl | C_host
+
+let dialect_name = function
+  | Cuda -> "CUDA"
+  | Opencl -> "OpenCL"
+  | C_host -> "C host"
+
+type ctx = { d : dialect; prec : Precision.t; buf : Buffer.t }
+
+let bpf ctx fmt = Printf.bprintf ctx.buf fmt
+let puts ctx s = Buffer.add_string ctx.buf s
+
+let scalar ctx = Precision.cuda_type ctx.prec
+let zero ctx = match ctx.prec with Precision.FP64 -> "0.0" | FP32 -> "0.0f"
+let i64_ty ctx = match ctx.d with Opencl -> "long" | Cuda | C_host -> "long long"
+let flag_ty ctx = match ctx.d with Cuda -> "bool" | Opencl | C_host -> "int"
+
+let ty_name ctx = function
+  | Int -> "int"
+  | I64 -> i64_ty ctx
+  | Bool -> flag_ty ctx
+  | Scalar -> scalar ctx
+
+let builtin_str ctx b =
+  match (b, ctx.d) with
+  | Thread_x, Cuda -> "threadIdx.x"
+  | Thread_x, Opencl -> "get_local_id(0)"
+  | Thread_x, C_host -> "t_x"
+  | Thread_y, Cuda -> "threadIdx.y"
+  | Thread_y, Opencl -> "get_local_id(1)"
+  | Thread_y, C_host -> "t_y"
+  | Block_flat, Cuda -> "blockIdx.x"
+  | Block_flat, Opencl -> "(long)get_group_id(0)"
+  | Block_flat, C_host -> "blk"
+
+(* C precedence levels used here: 5 = * / %, 4 = + -, 2 = &, 1 = ?:.
+   [Lt] only ever appears inside guards and is always parenthesized;
+   casts and primaries bind tightest. *)
+let rec expr ctx prec e =
+  let bin my a op b =
+    let s = expr ctx my a ^ op ^ expr ctx (my + 1) b in
+    if my < prec then "(" ^ s ^ ")" else s
+  in
+  match e with
+  | Int_lit n -> string_of_int n
+  | I64_lit n -> (
+      match ctx.d with
+      | Opencl -> Printf.sprintf "(long)%d" n
+      | Cuda | C_host -> Printf.sprintf "%dLL" n)
+  | Scalar_zero -> zero ctx
+  | Var n -> n
+  | Builtin b -> builtin_str ctx b
+  | Add (a, b) -> bin 4 a " + " b
+  | Sub (a, b) -> bin 4 a " - " b
+  | Mul (a, b) -> bin 5 a " * " b
+  | Div (a, b) -> bin 5 a " / " b
+  | Mod (a, b) -> bin 5 a " % " b
+  | Lt (a, b) -> "(" ^ expr ctx 0 a ^ " < " ^ expr ctx 0 b ^ ")"
+  | And (a, b) -> bin 2 a " & " b
+  | Cast (t, a) -> "(" ^ ty_name ctx t ^ ")" ^ atom ctx a
+  | Select (c, a, b) ->
+      let s = expr ctx 2 c ^ " ? " ^ expr ctx 2 a ^ " : " ^ expr ctx 2 b in
+      if prec > 1 then "(" ^ s ^ ")" else s
+  | Index (n, a) -> n ^ "[" ^ expr ctx 0 a ^ "]"
+
+and atom ctx e =
+  match e with
+  | Int_lit _ | I64_lit _ | Var _ | Index _ -> expr ctx 0 e
+  | _ -> "(" ^ expr ctx 0 e ^ ")"
+
+let lval ctx = function
+  | Lvar n -> n
+  | Larr (n, e) -> n ^ "[" ^ expr ctx 0 e ^ "]"
+
+let ind ctx n = puts ctx (String.make (2 * n) ' ')
+
+let rec stmt ctx n s =
+  match s with
+  | Decl { ty; const; name; init } ->
+      ind ctx n;
+      if const then puts ctx "const ";
+      bpf ctx "%s %s" (ty_name ctx ty) name;
+      (match init with
+      | Some e -> bpf ctx " = %s" (expr ctx 0 e)
+      | None -> ());
+      puts ctx ";\n"
+  | Assign (lv, e) ->
+      ind ctx n;
+      bpf ctx "%s = %s;\n" (lval ctx lv) (expr ctx 0 e)
+  | Div_assign (lv, e) ->
+      ind ctx n;
+      bpf ctx "%s /= %s;\n" (lval ctx lv) (expr ctx 0 e)
+  | Fma { acc; a; b } ->
+      ind ctx n;
+      bpf ctx "%s += %s * %s;\n" (lval ctx acc) (expr ctx 5 a) (expr ctx 6 b)
+  | For { var; start; bound; step; unroll; body } ->
+      if unroll && ctx.d <> C_host then puts ctx "#pragma unroll\n";
+      ind ctx n;
+      bpf ctx "for (int %s = %s; %s < %s; %s)" var (expr ctx 0 start) var
+        (expr ctx 0 bound)
+        (match step with
+        | Int_lit 1 -> "++" ^ var
+        | e -> Printf.sprintf "%s += %s" var (expr ctx 0 e));
+      block ctx n body
+  | If (c, body) ->
+      ind ctx n;
+      bpf ctx "if (%s)" (expr ctx 0 c);
+      block ctx n body
+  | Scope body ->
+      ind ctx n;
+      puts ctx "{\n";
+      stmts ctx (n + 1) body;
+      ind ctx n;
+      puts ctx "}\n"
+  | Comment s ->
+      ind ctx n;
+      bpf ctx "// %s\n" s
+
+(* single statements that introduce no declaration print braceless *)
+and block ctx n body =
+  match body with
+  | [ ((Assign _ | Div_assign _ | Fma _ | For _ | If _) as s) ] ->
+      puts ctx "\n";
+      stmt ctx (n + 1) s
+  | _ ->
+      puts ctx " {\n";
+      stmts ctx (n + 1) body;
+      ind ctx n;
+      puts ctx "}\n"
+
+and stmts ctx n l = List.iter (stmt ctx n) l
+
+let param_list s =
+  String.concat ""
+    (List.map (fun i -> Printf.sprintf ",\n    const int N_%c" i)
+       (all_indices s))
+
+(* ---- GPU dialects: one real thread per (tx, ty), structural barriers ---- *)
+
+let gpu_kernel ctx (k : kernel) =
+  let s = k.spec in
+  let sc = scalar ctx in
+  (match ctx.d with
+  | Cuda ->
+      bpf ctx "extern \"C\" __global__ void %s(\n" s.name;
+      bpf ctx "    %s* __restrict__ g_C,\n" sc;
+      bpf ctx "    const %s* __restrict__ g_A,\n" sc;
+      bpf ctx "    const %s* __restrict__ g_B" sc
+  | Opencl ->
+      if s.precision = Precision.FP64 then
+        puts ctx "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n";
+      bpf ctx "__kernel void %s(\n" s.name;
+      bpf ctx "    __global %s* restrict g_C,\n" sc;
+      bpf ctx "    __global const %s* restrict g_A,\n" sc;
+      bpf ctx "    __global const %s* restrict g_B" sc
+  | C_host -> invalid_arg "Tc_kir.Print.gpu_kernel: C_host");
+  bpf ctx "%s)\n{\n" (param_list s);
+  stmts ctx 1 k.grid_setup;
+  stmts ctx 1 k.block_setup;
+  stmts ctx 1 k.step_counts;
+  stmts ctx 1 k.thread_init;
+  let smem_qual = match ctx.d with Cuda -> "__shared__" | _ -> "__local" in
+  List.iter
+    (fun a -> bpf ctx "  %s %s %s[%d];\n" smem_qual sc a.a_name a.elems)
+    k.smem;
+  bpf ctx "  %s %s[%d];\n" sc k.acc.a_name k.acc.elems;
+  List.iter (fun a -> bpf ctx "  %s %s[%d];\n" sc a.a_name a.elems) k.regs;
+  stmts ctx 1 k.acc_init;
+  bpf ctx "  for (int step = 0; step < %s; ++step) {\n" num_steps_var;
+  stmts ctx 2 k.step_setup;
+  stmts ctx 2 k.stage;
+  let barrier =
+    match ctx.d with
+    | Cuda -> "    __syncthreads();\n"
+    | _ -> "    barrier(CLK_LOCAL_MEM_FENCE);\n"
+  in
+  puts ctx barrier;
+  stmts ctx 2 k.compute;
+  puts ctx barrier;
+  puts ctx "  }\n";
+  stmts ctx 1 k.store;
+  puts ctx "}\n"
+
+(* ---- C-host dialect: thread grid emulated with loops ---- *)
+
+let c_kernel ctx (k : kernel) =
+  let s = k.spec in
+  let sc = scalar ctx in
+  (* the per-thread accumulator tile becomes one block-wide array *)
+  let acc_offset = Mul (Var tid_var, Int_lit k.acc.elems) in
+  let per_thread = offset_array ~name:k.acc.a_name ~offset:acc_offset in
+  (* every barrier phase runs to completion across the whole emulated
+     thread grid before the next phase starts *)
+  let thread_loop n ?(arrays = []) body =
+    ind ctx n;
+    bpf ctx "for (int t_y = 0; t_y < %d; ++t_y)\n" (threads_y s);
+    ind ctx n;
+    bpf ctx "for (int t_x = 0; t_x < %d; ++t_x) {\n" (threads_x s);
+    stmts ctx (n + 1) k.thread_init;
+    List.iter
+      (fun a ->
+        ind ctx (n + 1);
+        bpf ctx "%s %s[%d];\n" sc a.a_name a.elems)
+      arrays;
+    stmts ctx (n + 1) body;
+    ind ctx n;
+    puts ctx "}\n"
+  in
+  bpf ctx "void %s(\n" s.name;
+  bpf ctx "    %s* g_C,\n" sc;
+  bpf ctx "    const %s* g_A,\n" sc;
+  bpf ctx "    const %s* g_B" sc;
+  bpf ctx "%s)\n{\n" (param_list s);
+  stmts ctx 1 k.grid_setup;
+  stmts ctx 1 k.step_counts;
+  let n_blocks =
+    match s.externals with
+    | [] -> "1LL"
+    | first :: rest ->
+        String.concat " * "
+          (Printf.sprintf "(long long)nb_%c" first
+          :: List.map (Printf.sprintf "nb_%c") rest)
+  in
+  bpf ctx "  const long long n_blocks = %s;\n" n_blocks;
+  puts ctx "  for (long long blk = 0; blk < n_blocks; ++blk) {\n";
+  stmts ctx 2 k.block_setup;
+  List.iter (fun a -> bpf ctx "    %s %s[%d];\n" sc a.a_name a.elems) k.smem;
+  bpf ctx "    %s %s[%d];\n" sc k.acc.a_name (threads s * k.acc.elems);
+  thread_loop 2 (per_thread k.acc_init);
+  bpf ctx "    for (int step = 0; step < %s; ++step) {\n" num_steps_var;
+  stmts ctx 3 k.step_setup;
+  thread_loop 3 k.stage;
+  thread_loop 3 ~arrays:k.regs (per_thread k.compute);
+  puts ctx "    }\n";
+  thread_loop 2 (per_thread k.store);
+  puts ctx "  }\n";
+  puts ctx "}\n"
+
+let kernel d (k : kernel) =
+  let ctx = { d; prec = k.spec.precision; buf = Buffer.create 4096 } in
+  (match d with
+  | Cuda | Opencl -> gpu_kernel ctx k
+  | C_host -> c_kernel ctx k);
+  Buffer.contents ctx.buf
+
+(* ---- C-host standalone driver ---- *)
+
+let host_fill ~tag k =
+  float_of_int (((2654435761 * k) + (40503 * tag)) land 0xFFFFFF)
+  /. 16777216.0
+  -. 0.5
+
+let c_main (k : kernel) =
+  let s = k.spec in
+  let ctx = { d = C_host; prec = s.precision; buf = Buffer.create 2048 } in
+  let sc = scalar ctx in
+  let idx = all_indices s in
+  puts ctx "static double tc_fill(unsigned tag, size_t k)\n{\n";
+  puts ctx
+    "  unsigned v = (2654435761u * (unsigned)k + 40503u * tag) & 0xFFFFFFu;\n";
+  puts ctx "  return (double)v / 16777216.0 - 0.5;\n}\n\n";
+  puts ctx "int main(int argc, char** argv)\n{\n";
+  List.iter (fun i -> bpf ctx "  int N_%c = %d;\n" i (extent_of s i)) idx;
+  List.iteri
+    (fun pos i ->
+      bpf ctx "  if (argc > %d) N_%c = atoi(argv[%d]);\n" (pos + 1) i (pos + 1))
+    idx;
+  let size_expr = function
+    | [] -> "(size_t)1"
+    | l -> String.concat " * " (List.map (Printf.sprintf "(size_t)N_%c") l)
+  in
+  bpf ctx "  size_t szA = %s, szB = %s, szC = %s;\n" (size_expr s.lhs)
+    (size_expr s.rhs) (size_expr s.out);
+  List.iter
+    (fun v -> bpf ctx "  %s* %s = (%s*)malloc(sz%s * sizeof(%s));\n" sc v sc v sc)
+    [ "A"; "B"; "C" ];
+  bpf ctx "  for (size_t i = 0; i < szA; ++i) A[i] = (%s)tc_fill(1u, i);\n" sc;
+  bpf ctx "  for (size_t i = 0; i < szB; ++i) B[i] = (%s)tc_fill(2u, i);\n" sc;
+  bpf ctx "  for (size_t i = 0; i < szC; ++i) C[i] = (%s)0;\n" sc;
+  bpf ctx "  %s(C, A, B%s);\n" s.name
+    (String.concat ""
+       (List.map (fun i -> Printf.sprintf ", N_%c" i) idx));
+  puts ctx
+    "  for (size_t i = 0; i < szC; ++i) printf(\"%.17g\\n\", (double)C[i]);\n";
+  puts ctx "  free(A); free(B); free(C);\n  return 0;\n}\n";
+  Buffer.contents ctx.buf

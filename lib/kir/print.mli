@@ -1,0 +1,41 @@
+(** Dialect printers for the kernel IR.
+
+    One kernel, three renderings:
+
+    - {b CUDA}: [extern "C" __global__] kernel, [__shared__] staging,
+      [__syncthreads()] barriers;
+    - {b OpenCL}: [__kernel] with [__global]/[__local] qualifiers,
+      [barrier(CLK_LOCAL_MEM_FENCE)], [long] as the 64-bit type, and the
+      [cl_khr_fp64] pragma for FP64;
+    - {b C host}: plain C that emulates the thread grid with loops — the
+      flat block id becomes an outer loop and every barrier phase is wrapped
+      in its own [t_y]/[t_x] thread loops, with the per-thread accumulator
+      tile promoted to a block-wide array indexed by [tid].  The result
+      compiles with any C/C++ compiler and computes the same contraction,
+      which is what lets tests {e execute} generated kernels against
+      [Contract_ref].
+
+    The IR's structural barriers (stage → compute inside the step loop) are
+    realized here, per dialect. *)
+
+type dialect = Cuda | Opencl | C_host
+
+val dialect_name : dialect -> string
+(** ["CUDA"], ["OpenCL"], ["C host"]. *)
+
+val kernel : dialect -> Ir.kernel -> string
+(** The kernel definition in the given dialect (no header comment, no
+    launcher). *)
+
+val c_main : Ir.kernel -> string
+(** A [main] for the C-host dialect: allocates the tensors at the spec's
+    representative extents (overridable positionally on argv, [all_indices]
+    order), fills the inputs with {!host_fill}, runs the kernel once and
+    prints every output element with [%.17g] — one per line, FVI-first
+    order — so a test can diff against [Contract_ref]. *)
+
+val host_fill : tag:int -> int -> float
+(** The deterministic fill the emitted C main uses:
+    [value(tag, k) = ((2654435761 * k + 40503 * tag) land 0xFFFFFF) /
+     16777216 - 0.5].  Reproducing it on the OCaml side gives bit-identical
+    FP64 inputs for the numeric comparison. *)

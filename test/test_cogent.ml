@@ -428,13 +428,26 @@ let read_golden file =
   close_in ic;
   s
 
+(* With GOLDEN_UPDATE set, rewrite the golden files from the plan this test
+   constructs instead of comparing (run `GOLDEN_UPDATE=1 dune exec
+   test/test_cogent.exe` from the repository root, then eyeball the diff). *)
+let check_golden label file actual =
+  if Sys.getenv_opt "GOLDEN_UPDATE" <> None then begin
+    let oc = open_out (golden_path file) in
+    output_string oc actual;
+    close_out oc
+  end;
+  check Alcotest.string label (read_golden file) actual
+
 let test_codegen_golden () =
-  check Alcotest.string "golden kernel" (read_golden "ab_ac_cb.cu")
-    (Codegen.emit gemm_plan)
+  check_golden "golden kernel" "ab_ac_cb.cu" (Codegen.emit gemm_plan)
 
 let test_codegen_golden_opencl () =
-  check Alcotest.string "golden OpenCL kernel" (read_golden "ab_ac_cb.cl")
+  check_golden "golden OpenCL kernel" "ab_ac_cb.cl"
     (Codegen.emit_opencl gemm_plan)
+
+let test_codegen_golden_c () =
+  check_golden "golden C-host kernel" "ab_ac_cb.c" (Codegen.emit_c gemm_plan)
 
 let has_sub src needle =
   let ln = String.length needle and ls = String.length src in
@@ -758,6 +771,8 @@ let () =
           Alcotest.test_case "golden ab-ac-cb kernel" `Quick test_codegen_golden;
           Alcotest.test_case "golden ab-ac-cb OpenCL kernel" `Quick
             test_codegen_golden_opencl;
+          Alcotest.test_case "golden ab-ac-cb C-host kernel" `Quick
+            test_codegen_golden_c;
           Alcotest.test_case "OpenCL structure" `Quick
             test_codegen_opencl_structure;
           Alcotest.test_case "OpenCL fp32 pragma" `Quick

@@ -1,15 +1,20 @@
-(* Syntactic validation of emitted kernels with a real C++ compiler.
+(* Validation of emitted kernels with a real host compiler.
 
    There is no nvcc in this environment, but the CUDA-specific surface of
    the generated kernels is small enough to shim away with plain C++
    (qualifiers become storage classes, thread built-ins become globals),
    after which `g++ -fsyntax-only` checks the whole kernel body: every
    declaration, index expression, guard and loop the generator produced —
-   for all 48 TCCG contractions, both precisions, and both dialects.
+   for all 48 TCCG contractions, both precisions, and all three dialects.
+
+   The C-host dialect needs no shim at all: its standalone translation
+   unit is compiled with gcc, executed on deliberately tile-misaligned
+   extents, and its output tensor is compared elementwise against
+   [Contract_ref] — an end-to-end numerical check of the whole lowering.
 
    Launchers use the <<<...>>> launch syntax, which no host compiler
-   parses, so only kernels are checked (the launcher text is covered by
-   golden tests). *)
+   parses, so only kernels are syntax-checked (the launcher text is
+   covered by golden tests). *)
 
 open Tc_gpu
 
@@ -120,6 +125,114 @@ let test_variants_unit_compiles () =
         var.Cogent.Variants.name)
     v.Cogent.Variants.variants
 
+(* ---- C-host dialect: compile, execute, compare against Contract_ref ---- *)
+
+let cc_available =
+  lazy
+    (if Sys.command "gcc --version > /dev/null 2>&1" = 0 then
+       Some "gcc -std=c99"
+     else if Sys.command "g++ --version > /dev/null 2>&1" = 0 then
+       Some "g++ -x c++"
+     else None)
+
+let require_cc () =
+  match Lazy.force cc_available with
+  | Some cc -> cc
+  | None ->
+      (* environments without a host compiler skip rather than fail *)
+      raise (Failure "no C compiler available")
+
+(* Small extents that do not divide any power-of-two tile, so the run
+   exercises every partial-tile guard the generator emits. *)
+let small_extents spec =
+  List.mapi (fun k i -> (i, 3 + (k mod 3))) (Tc_kir.Ir.all_indices spec)
+
+let read_floats path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (float_of_string (String.trim line) :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let reference_output spec extents =
+  let open Tc_tensor in
+  let shape_of indices =
+    Shape.make (List.map (fun i -> (i, List.assoc i extents)) indices)
+  in
+  let filled tag indices =
+    let t = Dense.create (shape_of indices) in
+    let d = Dense.unsafe_data t in
+    Array.iteri (fun k _ -> d.(k) <- Tc_kir.Print.host_fill ~tag k) d;
+    t
+  in
+  let a = filled 1 spec.Tc_kir.Ir.lhs and b = filled 2 spec.Tc_kir.Ir.rhs in
+  Dense.unsafe_data (Contract_ref.contract ~out_indices:spec.Tc_kir.Ir.out a b)
+
+let run_c_host cc plan name =
+  let spec = Cogent.Codegen.spec_of_plan plan in
+  let src = Cogent.Codegen.emit_c_standalone plan in
+  let file = Filename.temp_file "cogent_chost" ".c" in
+  let exe = Filename.temp_file "cogent_chost" ".exe" in
+  let out = exe ^ ".out" and log = exe ^ ".log" in
+  let oc = open_out file in
+  output_string oc src;
+  close_out oc;
+  let cleanup () =
+    List.iter
+      (fun f -> if Sys.file_exists f then Sys.remove f)
+      [ file; exe; out; log ]
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let status =
+    Sys.command
+      (Printf.sprintf "%s -O1 -o %s %s > %s 2>&1" cc (Filename.quote exe)
+         (Filename.quote file) (Filename.quote log))
+  in
+  if status <> 0 then begin
+    let ic = open_in log in
+    let n = min (in_channel_length ic) 2000 in
+    let diag = really_input_string ic n in
+    close_in ic;
+    Alcotest.fail (Printf.sprintf "%s does not compile:\n%s" name diag)
+  end;
+  let extents = small_extents spec in
+  let args =
+    String.concat " " (List.map (fun (_, n) -> string_of_int n) extents)
+  in
+  let status =
+    Sys.command
+      (Printf.sprintf "%s %s > %s" (Filename.quote exe) args
+         (Filename.quote out))
+  in
+  if status <> 0 then
+    Alcotest.fail (Printf.sprintf "%s exited with status %d" name status);
+  let got = Array.of_list (read_floats out) in
+  let want = reference_output spec extents in
+  if Array.length got <> Array.length want then
+    Alcotest.fail
+      (Printf.sprintf "%s: printed %d elements, reference has %d" name
+         (Array.length got) (Array.length want));
+  Array.iteri
+    (fun k w ->
+      if Float.abs (got.(k) -. w) > 1e-9 then
+        Alcotest.fail
+          (Printf.sprintf "%s: C[%d] = %.17g, reference %.17g" name k got.(k)
+             w))
+    want
+
+let test_suite_kernels_execute () =
+  let cc = require_cc () in
+  List.iter
+    (fun e ->
+      let problem = Tc_tccg.Suite.problem e in
+      let plan = Cogent.Driver.best_plan problem in
+      run_c_host cc plan (e.Tc_tccg.Suite.name ^ " (C host)"))
+    Tc_tccg.Suite.all
+
 let test_adversarial_mappings_compile () =
   require_gxx ();
   (* degenerate-but-valid configurations stress the emitter's decompose and
@@ -175,5 +288,10 @@ let () =
             test_variants_unit_compiles;
           Alcotest.test_case "adversarial mappings" `Slow
             test_adversarial_mappings_compile;
+        ] );
+      ( "execute (gcc, C-host dialect)",
+        [
+          Alcotest.test_case "48 TCCG kernels match Contract_ref" `Slow
+            test_suite_kernels_execute;
         ] );
     ]

@@ -1,0 +1,247 @@
+(* IR-level checks (Tc_kir): resource derivation agrees with the planner,
+   the occupancy request reproduces the plan's occupancy, staging is
+   SMEM-bank-conflict-free, guard elimination fires exactly on
+   divisibility, and the C-host dialect has the loop-emulated structure. *)
+
+open Tc_gpu
+open Tc_expr
+open Cogent
+
+let check = Alcotest.check
+
+let toy_plan =
+  let problem =
+    Problem.of_string_exn "ab-ac-cb"
+      ~sizes:[ ('a', 32); ('b', 32); ('c', 32) ]
+  in
+  let b idx tile = { Mapping.index = idx; tile } in
+  let mapping =
+    {
+      Mapping.tbx = [ b 'a' 16 ];
+      regx = [];
+      tby = [ b 'b' 16 ];
+      regy = [];
+      tbk = [ b 'c' 8 ];
+      grid = [];
+    }
+  in
+  Plan.make ~problem ~mapping ~arch:Arch.v100 ~precision:Precision.FP64
+
+let has_sub src needle =
+  let ln = String.length needle and ls = String.length src in
+  let rec go i = i + ln <= ls && (String.sub src i ln = needle || go (i + 1)) in
+  go 0
+
+(* ---- properties over random problems (shared generator, fixed seed) ---- *)
+
+let prop_resources =
+  QCheck.Test.make ~count:60 ~name:"IR-derived smem/regs match the plan"
+    Gen.case_arbitrary (fun c ->
+      let plan = Driver.best_plan c.Gen.problem in
+      let k = Codegen.lower plan in
+      Tc_kir.Check.smem_bytes k = Plan.smem_bytes plan
+      && Tc_kir.Check.reg_estimate k = Plan.regs_per_thread plan)
+
+let prop_occupancy =
+  QCheck.Test.make ~count:60 ~name:"IR occupancy request matches the plan"
+    Gen.case_arbitrary (fun c ->
+      let plan = Driver.best_plan c.Gen.problem in
+      let k = Codegen.lower plan in
+      let got =
+        Occupancy.calculate plan.Plan.arch (Tc_kir.Check.occupancy_request k)
+      in
+      let want = Plan.occupancy plan in
+      got.Occupancy.active_blocks_per_sm = want.Occupancy.active_blocks_per_sm
+      && got.Occupancy.active_warps_per_sm = want.Occupancy.active_warps_per_sm
+      && got.Occupancy.occupancy = want.Occupancy.occupancy)
+
+let has_guard stmts =
+  Tc_kir.Ir.exists_expr
+    (function Tc_kir.Ir.Lt _ -> true | _ -> false)
+    stmts
+
+let guarded_phases (k : Tc_kir.Ir.kernel) =
+  k.Tc_kir.Ir.grid_setup @ k.Tc_kir.Ir.block_setup @ k.Tc_kir.Ir.step_counts
+  @ k.Tc_kir.Ir.thread_init @ k.Tc_kir.Ir.acc_init @ k.Tc_kir.Ir.step_setup
+  @ k.Tc_kir.Ir.stage @ k.Tc_kir.Ir.compute @ k.Tc_kir.Ir.store
+
+let prop_guard_elim =
+  QCheck.Test.make ~count:60
+    ~name:"guard elimination fires iff an extent divides its tile"
+    Gen.case_arbitrary (fun c ->
+      let plan = Driver.best_plan c.Gen.problem in
+      let p = plan.Plan.problem and m = plan.Plan.mapping in
+      let info = Problem.info p in
+      let all = Tc_expr.Classify.all_indices info in
+      let divisible i = Problem.extent p i mod Mapping.tile_of m i = 0 in
+      let k = Codegen.lower plan in
+      let k', fired = Tc_kir.Opt.eliminate_guards k in
+      fired = List.exists divisible all
+      && has_guard (guarded_phases k') = not (List.for_all divisible all))
+
+let prop_staging_conflict_free =
+  QCheck.Test.make ~count:60 ~name:"staging writes are bank-conflict-free"
+    Gen.case_arbitrary (fun c ->
+      let plan = Driver.best_plan c.Gen.problem in
+      Tc_kir.Check.staging_conflict_ways (Codegen.lower plan) = 1)
+
+(* ---- units ---- *)
+
+let test_cross_validate_ok () =
+  (* must not raise *)
+  let k = Codegen.lower toy_plan in
+  Tc_kir.Check.cross_validate
+    ~expected_smem:(Plan.smem_bytes toy_plan)
+    ~expected_regs:(Plan.regs_per_thread toy_plan)
+    k;
+  check Alcotest.int "smem" (Plan.smem_bytes toy_plan)
+    (Tc_kir.Check.smem_bytes k)
+
+let test_cross_validate_raises () =
+  let k = Codegen.lower toy_plan in
+  match
+    Tc_kir.Check.cross_validate ~expected_smem:1 ~expected_regs:1 k
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "resource mismatch accepted"
+
+let test_conflict_detected () =
+  (* a deliberately strided staging write: lanes 0..31 hit addresses 2*tid,
+     so lanes L and L+16 collide in bank (2L mod 32) -> 2-way *)
+  let open Tc_kir.Ir in
+  let k = Codegen.lower toy_plan in
+  let strided =
+    {
+      k with
+      stage =
+        [
+          For
+            {
+              var = "l"; start = Var "tid"; bound = Int_lit 512;
+              step = Int_lit 256; unroll = false;
+              body =
+                [ Assign (Larr ("s_A", Mul (Var "l", Int_lit 2)), Scalar_zero) ];
+            };
+        ];
+    }
+  in
+  check Alcotest.int "conflict-free lowering" 1
+    (Tc_kir.Check.staging_conflict_ways k);
+  check Alcotest.int "2-way conflict detected" 2
+    (Tc_kir.Check.staging_conflict_ways strided)
+
+let test_guard_elim_toy () =
+  (* 32 divides every tile (16, 16, 8): all guards disappear *)
+  let k', fired = Tc_kir.Opt.eliminate_guards (Codegen.lower toy_plan) in
+  check Alcotest.bool "fired" true fired;
+  check Alcotest.bool "no guards left" false (has_guard (guarded_phases k'))
+
+let test_specialize () =
+  let k = Tc_kir.Opt.specialize (Codegen.lower toy_plan) in
+  let extent_var =
+    Tc_kir.Ir.exists_expr
+      (function
+        | Tc_kir.Ir.Var n ->
+            String.length n = 3 && n.[0] = 'N' && n.[1] = '_'
+        | _ -> false)
+      (guarded_phases k)
+  in
+  check Alcotest.bool "no extent parameters left" false extent_var
+
+let test_c_host_structure () =
+  let src = Codegen.emit_kernel ~dialect:Codegen.C_host toy_plan in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "contains %S" needle) true
+        (has_sub src needle))
+    [
+      "void cogent_ab_ac_cb(";
+      "for (long long blk = 0; blk < n_blocks; ++blk)";
+      "for (int t_y = 0; t_y < 16; ++t_y)";
+      "for (int t_x = 0; t_x < 16; ++t_x)";
+      "double r_C[256];";
+      "const int N_a";
+    ];
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "lacks %S" needle) false
+        (has_sub src needle))
+    [ "__global__"; "__shared__"; "__syncthreads"; "threadIdx"; "restrict" ]
+
+let test_evaluator () =
+  let open Tc_kir.Ir in
+  let writes = ref [] in
+  let env =
+    make_env
+      ~on_access:(fun kind name addr ->
+        if kind = Write then writes := (name, addr) :: !writes)
+      ()
+  in
+  exec env
+    [
+      Decl { ty = Int; const = true; name = "x"; init = Some (Int_lit 3) };
+      For
+        {
+          var = "i"; start = Int_lit 0; bound = Int_lit 4; step = Int_lit 1;
+          unroll = false;
+          body =
+            [ Assign (Larr ("a", Add (Var "i", Mul (Var "x", Int_lit 10))),
+                      Int_lit 0) ];
+        };
+    ];
+  check Alcotest.int "x bound" 3 (Option.get (get_var env "x"));
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "recorded writes"
+    [ ("a", 30); ("a", 31); ("a", 32); ("a", 33) ]
+    (List.rev !writes)
+
+let test_host_fill_matches_c_formula () =
+  (* spot values computed with the C expression by hand *)
+  let f = Tc_kir.Print.host_fill in
+  check (Alcotest.float 1e-12) "tag 1, k 0"
+    (float_of_int (40503 land 0xFFFFFF) /. 16777216.0 -. 0.5)
+    (f ~tag:1 0);
+  check Alcotest.bool "range" true
+    (List.for_all
+       (fun k ->
+         let v = f ~tag:2 k in
+         v >= -0.5 && v < 0.5)
+       [ 0; 1; 17; 123; 4095 ])
+
+let () =
+  Alcotest.run "tc_kir"
+    [
+      ( "properties",
+        [
+          Gen.to_alcotest prop_resources;
+          Gen.to_alcotest prop_occupancy;
+          Gen.to_alcotest prop_guard_elim;
+          Gen.to_alcotest prop_staging_conflict_free;
+        ] );
+      ( "checks",
+        [
+          Alcotest.test_case "cross-validate accepts" `Quick
+            test_cross_validate_ok;
+          Alcotest.test_case "cross-validate rejects" `Quick
+            test_cross_validate_raises;
+          Alcotest.test_case "bank conflicts detected" `Quick
+            test_conflict_detected;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "guard elimination (all divide)" `Quick
+            test_guard_elim_toy;
+          Alcotest.test_case "specialization" `Quick test_specialize;
+        ] );
+      ( "printing",
+        [
+          Alcotest.test_case "C-host structure" `Quick test_c_host_structure;
+        ] );
+      ( "evaluator",
+        [
+          Alcotest.test_case "loops and accesses" `Quick test_evaluator;
+          Alcotest.test_case "host fill" `Quick
+            test_host_fill_matches_c_formula;
+        ] );
+    ]
