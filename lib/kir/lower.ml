@@ -121,10 +121,14 @@ let guard_expr s v ~local_prefix =
              Var (extent_name i) ))
        v.indices)
 
-(* Cooperative GMEM -> SMEM staging loop for one input slab. *)
+(* Cooperative GMEM -> SMEM staging loop for one input slab.  The guard
+   flag is named per slab (ok_la / ok_lb) so IR passes that track flags by
+   name — notably [Opt.eliminate_guards] — never confuse one slab's guard
+   with the other's. *)
 let slab_load s v ~smem ~local_prefix =
   let elems = slab_elems s v.indices in
   let tiles = List.map (tile_of s) v.indices in
+  let flag = "ok_" ^ local_prefix in
   For
     {
       var = "l";
@@ -135,7 +139,7 @@ let slab_load s v ~smem ~local_prefix =
       body =
         decompose ~indices:v.indices ~tiles ~var:"l" ~prefix:local_prefix
         @ [
-            Decl { ty = Bool; const = true; name = "ok";
+            Decl { ty = Bool; const = true; name = flag;
                    init = Some (guard_expr s v ~local_prefix) };
             Assign
               ( Larr
@@ -143,7 +147,7 @@ let slab_load s v ~smem ~local_prefix =
                     smem_address s v ~coord:(fun i ->
                         Var (local_name local_prefix i)) ),
                 Select
-                  ( Var "ok",
+                  ( Var flag,
                     Index (v.cname, gmem_address s v ~local_prefix),
                     Scalar_zero ) );
           ];

@@ -60,7 +60,11 @@ let eliminate_guards k =
             | None ->
                 Hashtbl.replace true_flags d.name ();
                 []
-            | Some g' -> [ Decl { d with init = Some g' } ])
+            | Some g' ->
+                (* a surviving declaration shadows any earlier elimination
+                   of the same name: its Selects must be kept *)
+                Hashtbl.remove true_flags d.name;
+                [ Decl { d with init = Some g' } ])
         | If (c, body) -> (
             match simp c with
             | None -> rw body

@@ -65,6 +65,18 @@ let guarded_phases (k : Tc_kir.Ir.kernel) =
   @ k.Tc_kir.Ir.thread_init @ k.Tc_kir.Ir.acc_init @ k.Tc_kir.Ir.step_setup
   @ k.Tc_kir.Ir.stage @ k.Tc_kir.Ir.compute @ k.Tc_kir.Ir.store
 
+let count_selects stmts =
+  let n = ref 0 in
+  ignore
+    (Tc_kir.Ir.map_expr
+       (function
+         | Tc_kir.Ir.Select _ as e ->
+             incr n;
+             e
+         | e -> e)
+       stmts);
+  !n
+
 let prop_guard_elim =
   QCheck.Test.make ~count:60
     ~name:"guard elimination fires iff an extent divides its tile"
@@ -76,8 +88,15 @@ let prop_guard_elim =
       let divisible i = Problem.extent p i mod Mapping.tile_of m i = 0 in
       let k = Codegen.lower plan in
       let k', fired = Tc_kir.Opt.eliminate_guards k in
+      (* per-operand: a slab's staging Select collapses exactly when every
+         index of that operand divides its tile — one guard being trivially
+         true must not drop the other slab's zero-fill *)
+      let spec = k.Tc_kir.Ir.spec in
+      let surviving indices = if List.for_all divisible indices then 0 else 1 in
       fired = List.exists divisible all
-      && has_guard (guarded_phases k') = not (List.for_all divisible all))
+      && has_guard (guarded_phases k') = not (List.for_all divisible all)
+      && count_selects k'.Tc_kir.Ir.stage
+         = surviving spec.Tc_kir.Ir.lhs + surviving spec.Tc_kir.Ir.rhs)
 
 let prop_staging_conflict_free =
   QCheck.Test.make ~count:60 ~name:"staging writes are bank-conflict-free"
@@ -135,6 +154,35 @@ let test_guard_elim_toy () =
   let k', fired = Tc_kir.Opt.eliminate_guards (Codegen.lower toy_plan) in
   check Alcotest.bool "fired" true fired;
   check Alcotest.bool "no guards left" false (has_guard (guarded_phases k'))
+
+let test_guard_elim_mixed () =
+  (* regression: N_b = 33 does not divide its 16-tile, so slab B keeps its
+     guarded zero-fill even though slab A's guard is trivially true — an
+     elimination of A's flag must not leak onto B's Select *)
+  let problem =
+    Problem.of_string_exn "ab-ac-cb"
+      ~sizes:[ ('a', 32); ('b', 33); ('c', 32) ]
+  in
+  let b idx tile = { Mapping.index = idx; tile } in
+  let mapping =
+    {
+      Mapping.tbx = [ b 'a' 16 ];
+      regx = [];
+      tby = [ b 'b' 16 ];
+      regy = [];
+      tbk = [ b 'c' 8 ];
+      grid = [];
+    }
+  in
+  let plan =
+    Plan.make ~problem ~mapping ~arch:Arch.v100 ~precision:Precision.FP64
+  in
+  let k', fired = Tc_kir.Opt.eliminate_guards (Codegen.lower plan) in
+  check Alcotest.bool "fired" true fired;
+  check Alcotest.int "slab B select survives" 1
+    (count_selects k'.Tc_kir.Ir.stage);
+  check Alcotest.bool "store guard survives" true
+    (has_guard k'.Tc_kir.Ir.store)
 
 let test_specialize () =
   let k = Tc_kir.Opt.specialize (Codegen.lower toy_plan) in
@@ -232,6 +280,8 @@ let () =
         [
           Alcotest.test_case "guard elimination (all divide)" `Quick
             test_guard_elim_toy;
+          Alcotest.test_case "guard elimination (mixed divisibility)" `Quick
+            test_guard_elim_mixed;
           Alcotest.test_case "specialization" `Quick test_specialize;
         ] );
       ( "printing",
