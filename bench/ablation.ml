@@ -61,34 +61,44 @@ let selection () =
   Printf.printf "%-8s %10s %10s %10s %12s\n" "name" "model" "refined"
     "oracle" "model/oracle";
   Report.hrule 56;
-  let ratios_model = ref [] and ratios_refined = ref [] in
+  (* Suite entries are independent: compute on the domain pool, print in
+     suite order afterwards so stdout is identical at any job count. *)
+  let rows =
+    Tc_par.Pool.map
+      (fun e ->
+        let problem = Tc_tccg.Suite.problem e in
+        let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
+        let model = simulate r.Cogent.Driver.plan in
+        let refined =
+          simulate
+            (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
+               problem)
+        in
+        let oracle =
+          List.fold_left
+            (fun acc (m, _) -> Float.max acc (simulate (plan_of problem m)))
+            0.0 r.Cogent.Driver.ranked
+        in
+        (e, model, refined, oracle))
+      Tc_tccg.Suite.all
+  in
   List.iter
-    (fun e ->
-      let problem = Tc_tccg.Suite.problem e in
-      let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
-      let model = simulate r.Cogent.Driver.plan in
-      let refined =
-        simulate
-          (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
-             problem)
-      in
-      let oracle =
-        List.fold_left
-          (fun acc (m, _) -> Float.max acc (simulate (plan_of problem m)))
-          0.0 r.Cogent.Driver.ranked
-      in
-      ratios_model := (model, oracle) :: !ratios_model;
-      ratios_refined := (refined, oracle) :: !ratios_refined;
+    (fun (e, model, refined, oracle) ->
       Printf.printf "%-8s %10.0f %10.0f %10.0f %11.0f%%\n" e.Tc_tccg.Suite.name
         model refined oracle
         (100.0 *. model /. oracle))
-    Tc_tccg.Suite.all;
+    rows;
+  let ratios_model =
+    List.rev_map (fun (_, model, _, oracle) -> (model, oracle)) rows
+  and ratios_refined =
+    List.rev_map (fun (_, _, refined, oracle) -> (refined, oracle)) rows
+  in
   print_newline ();
-  Report.speedup_summary ~name:"model-only" ~base:"oracle" !ratios_model;
-  Report.speedup_summary ~name:"top-8 refined" ~base:"oracle" !ratios_refined;
+  Report.speedup_summary ~name:"model-only" ~base:"oracle" ratios_model;
+  Report.speedup_summary ~name:"top-8 refined" ~base:"oracle" ratios_refined;
   summary_entry "selection"
-    (Figures.finite "model_vs_oracle" (geo !ratios_model)
-    @ Figures.finite "refined_vs_oracle" (geo !ratios_refined))
+    (Figures.finite "model_vs_oracle" (geo ratios_model)
+    @ Figures.finite "refined_vs_oracle" (geo ratios_refined))
 
 let correlation () =
   Report.section
@@ -96,8 +106,8 @@ let correlation () =
      vs simulated time over surviving configurations";
   Printf.printf "%-8s %8s %8s\n" "name" "configs" "rho";
   Report.hrule 30;
-  let rhos =
-    List.map
+  let rows =
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
@@ -108,11 +118,15 @@ let correlation () =
               (Tc_sim.Simkernel.run (plan_of problem m)).Tc_sim.Simkernel.time_s)
             r.Cogent.Driver.ranked
         in
-        let rho = spearman costs times in
-        Printf.printf "%-8s %8d %8.2f\n" e.Tc_tccg.Suite.name
-          (List.length costs) rho;
-        rho)
+        (e, List.length costs, spearman costs times))
       Tc_tccg.Suite.all
+  in
+  let rhos =
+    List.map
+      (fun (e, n, rho) ->
+        Printf.printf "%-8s %8d %8.2f\n" e.Tc_tccg.Suite.name n rho;
+        rho)
+      rows
   in
   let mean_rho =
     List.fold_left ( +. ) 0.0 rhos /. float_of_int (List.length rhos)
@@ -128,7 +142,7 @@ let constraints () =
   Printf.printf "%-8s %12s %12s %9s\n" "name" "full rules" "hw-only" "gain";
   Report.hrule 46;
   let gains =
-    List.filter_map
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let configs = Cogent.Enumerate.enumerate problem in
@@ -141,12 +155,16 @@ let constraints () =
           | None -> None
         in
         match (pick true, pick false) with
-        | Some full, Some hw ->
-            Printf.printf "%-8s %12.0f %12.0f %8.2fx\n" e.Tc_tccg.Suite.name
-              full hw (full /. hw);
-            Some (full, hw)
+        | Some full, Some hw -> Some (e, full, hw)
         | _ -> None)
       Tc_tccg.Suite.all
+    |> List.filter_map (fun row ->
+           Option.map
+             (fun (e, full, hw) ->
+               Printf.printf "%-8s %12.0f %12.0f %8.2fx\n" e.Tc_tccg.Suite.name
+                 full hw (full /. hw);
+               (full, hw))
+             row)
   in
   print_newline ();
   Report.speedup_summary ~name:"full rules" ~base:"hardware-only" gains;
@@ -159,17 +177,19 @@ let ttgt_planner () =
   Printf.printf "%-8s %10s %10s %9s\n" "name" "faithful" "optimized" "gain";
   Report.hrule 42;
   let gains =
-    List.map
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let f = (Tc_ttgt.Ttgt.run arch prec problem).Tc_ttgt.Ttgt.gflops in
         let o =
           (Tc_ttgt.Ttgt.run ~optimize:true arch prec problem).Tc_ttgt.Ttgt.gflops
         in
-        Printf.printf "%-8s %10.0f %10.0f %8.2fx\n" e.Tc_tccg.Suite.name f o
-          (o /. f);
-        (o, f))
+        (e, f, o))
       Tc_tccg.Suite.all
+    |> List.map (fun (e, f, o) ->
+           Printf.printf "%-8s %10.0f %10.0f %8.2fx\n" e.Tc_tccg.Suite.name f o
+             (o /. f);
+           (o, f))
   in
   print_newline ();
   Report.speedup_summary ~name:"optimized TTGT" ~base:"faithful TTGT" gains;
@@ -183,12 +203,12 @@ let splitting () =
     "auto-split" "gain";
   Report.hrule 60;
   let gains =
-    List.filter_map
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let _, applied = Tc_expr.Split.auto problem in
         if applied = [] then None
-        else begin
+        else
           let base =
             simulate
               (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
@@ -199,13 +219,16 @@ let splitting () =
               (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
                  ~auto_split:true problem)
           in
-          Printf.printf "%-8s %-18s %10.0f %10.0f %8.2fx
-"
-            e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr base split
-            (split /. base);
-          Some (split, base)
-        end)
+          Some (e, base, split))
       Tc_tccg.Suite.all
+    |> List.filter_map (fun row ->
+           Option.map
+             (fun (e, base, split) ->
+               Printf.printf "%-8s %-18s %10.0f %10.0f %8.2fx\n"
+                 e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr base split
+                 (split /. base);
+               (split, base))
+             row)
   in
   print_newline ();
   if gains = [] then print_endline "no register-starved entries in the suite"

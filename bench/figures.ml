@@ -70,8 +70,11 @@ let tccg_comparison arch =
   Printf.printf "%-3s %-8s %-12s %-18s %9s %9s %9s\n" "#" "name" "group"
     "contraction" "COGENT" "NWChem" "TAL_SH";
   Report.hrule 78;
+  (* Entries are independent, so they generate on the domain pool;
+     printing happens afterwards, in suite order, so stdout is identical
+     at any job count. *)
   let rows =
-    List.map
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let cg_plan = (cogent_result arch Precision.FP64 problem).Cogent.Driver.plan in
@@ -79,10 +82,6 @@ let tccg_comparison arch =
         let nw_plan = Tc_nwchem.Nwgen.plan ~arch ~precision:Precision.FP64 problem in
         let nw = simulate nw_plan in
         let ts = talsh_gflops arch Precision.FP64 problem in
-        Printf.printf "%-3d %-8s %-12s %-18s %9.0f %9.0f %9.0f\n"
-          e.Tc_tccg.Suite.id e.Tc_tccg.Suite.name
-          (Tc_tccg.Suite.group_to_string e.Tc_tccg.Suite.group)
-          e.Tc_tccg.Suite.expr cg nw ts;
         let entry =
           bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
             arch Precision.FP64
@@ -95,6 +94,13 @@ let tccg_comparison arch =
         (e, cg, nw, ts, entry))
       Tc_tccg.Suite.all
   in
+  List.iter
+    (fun (e, cg, nw, ts, _) ->
+      Printf.printf "%-3d %-8s %-12s %-18s %9.0f %9.0f %9.0f\n"
+        e.Tc_tccg.Suite.id e.Tc_tccg.Suite.name
+        (Tc_tccg.Suite.group_to_string e.Tc_tccg.Suite.group)
+        e.Tc_tccg.Suite.expr cg nw ts)
+    rows;
   print_newline ();
   Report.speedup_summary ~name:"COGENT" ~base:"NWChem"
     (List.map (fun (_, cg, nw, _, _) -> (cg, nw)) rows);
@@ -149,8 +155,9 @@ let tc_comparison arch =
   Printf.printf "%-8s %-18s %9s %12s %12s\n" "name" "contraction" "COGENT"
     "TC (tuned)" "TC (untuned)";
   Report.hrule 78;
+  (* Compute on the pool, print in suite order (see tccg_comparison). *)
   let rows =
-    List.map
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let cg_plan =
@@ -162,8 +169,6 @@ let tc_comparison arch =
         let untuned =
           Tc_autotune.Tuner.untuned_gflops arch Precision.FP32 problem
         in
-        Printf.printf "%-8s %-18s %9.0f %12.0f %12.2f\n" e.Tc_tccg.Suite.name
-          e.Tc_tccg.Suite.expr cg tuned untuned;
         let entry =
           bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
             arch Precision.FP32
@@ -178,13 +183,18 @@ let tc_comparison arch =
               strat "tc_untuned" (finite "gflops" untuned);
             ]
         in
-        (cg, tuned, entry))
+        (e, cg, tuned, untuned, entry))
       Tc_tccg.Suite.sd2
   in
+  List.iter
+    (fun (e, cg, tuned, untuned, _) ->
+      Printf.printf "%-8s %-18s %9.0f %12.0f %12.2f\n" e.Tc_tccg.Suite.name
+        e.Tc_tccg.Suite.expr cg tuned untuned)
+    rows;
   print_newline ();
   Report.speedup_summary ~name:"COGENT" ~base:"TC-tuned"
-    (List.map (fun (cg, tuned, _) -> (cg, tuned)) rows);
-  List.map (fun (_, _, entry) -> entry) rows
+    (List.map (fun (_, cg, tuned, _, _) -> (cg, tuned)) rows);
+  List.map (fun (_, _, _, _, entry) -> entry) rows
 
 let fig6 () = tc_comparison Arch.p100
 let fig7 () = tc_comparison Arch.v100
@@ -243,14 +253,13 @@ let prunestats () =
     "contraction" "naive space" "enumerated" "kept" "pruned%" "vs naive" "hw"
     "perf";
   Report.hrule 100;
-  let stats = ref [] and entries = ref [] in
-  let fractions =
-    List.map
+  (* Compute on the pool, print in suite order (see tccg_comparison). *)
+  let rows =
+    Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
         let r = cogent_result Arch.v100 Precision.FP64 problem in
         let s = r.Cogent.Driver.prune_stats in
-        stats := s :: !stats;
         let pruned_pct =
           100.0
           *. float_of_int (s.Cogent.Prune.enumerated - s.Cogent.Prune.kept)
@@ -260,11 +269,7 @@ let prunestats () =
           100.0
           *. (1.0 -. (float_of_int s.Cogent.Prune.kept /. r.Cogent.Driver.naive_space))
         in
-        Printf.printf "%-8s %-18s %14.3e %10d %8d %8.1f%% %11.4f%% %6d %6d\n"
-          e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr r.Cogent.Driver.naive_space
-          s.Cogent.Prune.enumerated s.Cogent.Prune.kept pruned_pct vs_naive
-          s.Cogent.Prune.hardware_rejects s.Cogent.Prune.performance_rejects;
-        entries :=
+        let entry =
           bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
             Arch.v100 Precision.FP64
             [
@@ -279,9 +284,21 @@ let prunestats () =
                       float_of_int s.Cogent.Prune.performance_rejects );
                   ]);
             ]
-          :: !entries;
-        (pruned_pct, vs_naive))
+        in
+        (e, r, s, pruned_pct, vs_naive, entry))
       Tc_tccg.Suite.all
+  in
+  List.iter
+    (fun (e, r, s, pruned_pct, vs_naive, _) ->
+      Printf.printf "%-8s %-18s %14.3e %10d %8d %8.1f%% %11.4f%% %6d %6d\n"
+        e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr r.Cogent.Driver.naive_space
+        s.Cogent.Prune.enumerated s.Cogent.Prune.kept pruned_pct vs_naive
+        s.Cogent.Prune.hardware_rejects s.Cogent.Prune.performance_rejects)
+    rows;
+  let stats = List.rev_map (fun (_, _, s, _, _, _) -> s) rows in
+  let entries = List.map (fun (_, _, _, _, _, entry) -> entry) rows in
+  let fractions =
+    List.map (fun (_, _, _, pruned_pct, vs_naive, _) -> (pruned_pct, vs_naive)) rows
   in
   let mean f =
     List.fold_left (fun acc x -> acc +. f x) 0.0 fractions
@@ -297,7 +314,7 @@ let prunestats () =
   let total_per_rule r =
     List.fold_left
       (fun acc s -> acc + Cogent.Prune.pruned_count s r)
-      0 !stats
+      0 stats
   in
   let grand =
     List.fold_left (fun acc r -> acc + total_per_rule r) 0
@@ -314,10 +331,10 @@ let prunestats () =
           (100.0 *. float_of_int n /. float_of_int (max 1 grand)))
     Cogent.Prune.all_reasons;
   let relaxed_entries =
-    List.length (List.filter (fun s -> s.Cogent.Prune.relaxed) !stats)
+    List.length (List.filter (fun s -> s.Cogent.Prune.relaxed) stats)
   in
   Printf.printf
     "  %d rejections total; %d/%d entries needed performance-constraint \
      relaxation\n"
-    grand relaxed_entries (List.length !stats);
-  List.rev !entries
+    grand relaxed_entries (List.length stats);
+  entries

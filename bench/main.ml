@@ -11,7 +11,14 @@
 
      dune exec bench/main.exe -- baseline OUT.json   merge reports into a baseline
      dune exec bench/main.exe -- diff BASELINE.json  compare a run against it
-                                                     (exit 1 on regression) *)
+                                                     (exit 1 on regression)
+     dune exec bench/main.exe -- equal A.json B.json exit 1 unless the two
+                                                     reports are identical
+                                                     modulo wall_s/jobs
+
+   Worker-domain count comes from COGENT_JOBS (see Tc_par.Pool); results
+   are bit-identical at any job count — only wall_s and the recorded
+   jobs field vary. *)
 
 let targets =
   [
@@ -38,6 +45,7 @@ let timed name f =
     {
       Tc_profile.Benchrep.target = name;
       wall_s = Sys.time () -. t0;
+      jobs = Tc_par.Pool.default_jobs ();
       entries = !entries;
     }
   in
@@ -48,10 +56,12 @@ let timed name f =
 
 let harness_report trace =
   Report.section "Harness report (wall time per target, pipeline metrics)";
+  (* Filter by the harness's own category, not depth: pool workers record
+     their spans at domain-local depth 0 too. *)
   List.iter
     (fun ev ->
       match ev with
-      | Tc_obs.Trace.Span { name; dur_us; depth = 0; _ } ->
+      | Tc_obs.Trace.Span { name; dur_us; cat = "bench"; _ } ->
           Printf.printf "  %-12s %8.2f s\n" name (dur_us /. 1e6)
       | _ -> ())
     (Tc_obs.Trace.events trace);
@@ -77,11 +87,33 @@ let run_targets names =
   Tc_obs.Trace.uninstall ();
   harness_report trace
 
+(* Determinism gate: two reports for the same target, produced at
+   different job counts, must agree on everything but wall time. *)
+let equal_reports a b =
+  let load path =
+    match Tc_profile.Benchrep.read ~path with
+    | Ok doc -> doc
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+  in
+  let da = load a and db = load b in
+  if Tc_profile.Benchrep.equal_modulo_wall da db then
+    Printf.printf "%s == %s (modulo wall_s/jobs)\n" a b
+  else begin
+    Printf.eprintf "%s and %s differ beyond wall_s/jobs\n" a b;
+    exit 1
+  end
+
 let () =
   match List.tl (Array.to_list Sys.argv) with
   | [ "diff"; baseline ] -> Gate.diff baseline
   | [ "baseline"; out ] -> Gate.baseline ~targets:(List.map fst targets) out
+  | [ "equal"; a; b ] -> equal_reports a b
   | [ cmd ] when cmd = "diff" || cmd = "baseline" ->
       Printf.eprintf "usage: bench %s FILE.json\n" cmd;
+      exit 2
+  | "equal" :: _ ->
+      Printf.eprintf "usage: bench equal A.json B.json\n";
       exit 2
   | names -> run_targets names

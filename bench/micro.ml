@@ -9,6 +9,22 @@ open Toolkit
 let problem_eq1 = Tc_tccg.Suite.problem (Option.get (Tc_tccg.Suite.find "ccsd_1"))
 let problem_sd2 = Tc_tccg.Suite.problem Tc_tccg.Suite.sd2_1
 
+(* A 64-cube GEMM with real operands for the host-side execution paths
+   (the plan interpreter's inner product and the reference einsum). *)
+let interp_case =
+  let open Tc_tensor in
+  let problem =
+    Tc_expr.Problem.of_string_exn "ab-ac-cb"
+      ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ]
+  in
+  let info = Tc_expr.Problem.info problem in
+  let orig = info.Tc_expr.Classify.original in
+  let sizes = Tc_expr.Sizes.of_list [ ('a', 64); ('b', 64); ('c', 64) ] in
+  let shape_of indices = Shape.of_indices ~sizes indices in
+  let lhs = Dense.random ~seed:11 (shape_of orig.Tc_expr.Ast.lhs.Tc_expr.Ast.indices) in
+  let rhs = Dense.random ~seed:12 (shape_of orig.Tc_expr.Ast.rhs.Tc_expr.Ast.indices) in
+  (problem, info, lhs, rhs)
+
 let staged_tests =
   let enumerate problem () = ignore (Cogent.Enumerate.enumerate problem) in
   let full problem () = ignore (Cogent.Driver.generate_exn problem) in
@@ -32,6 +48,18 @@ let staged_tests =
     let plan = Cogent.Driver.best_plan problem in
     fun () -> ignore (Tc_sim.Simkernel.run plan)
   in
+  let interp_execute =
+    let problem, _, lhs, rhs = interp_case in
+    let plan = Cogent.Driver.best_plan problem in
+    fun () -> ignore (Cogent.Interp.execute plan ~lhs ~rhs)
+  in
+  let contract_ref =
+    let _, info, lhs, rhs = interp_case in
+    fun () ->
+      ignore
+        (Tc_tensor.Contract_ref.contract
+           ~out_indices:info.Tc_expr.Classify.externals lhs rhs)
+  in
   [
     Test.make ~name:"enumerate/eq1" (Staged.stage (enumerate problem_eq1));
     Test.make ~name:"enumerate/sd2_1" (Staged.stage (enumerate problem_sd2));
@@ -40,6 +68,8 @@ let staged_tests =
     Test.make ~name:"codegen-emit/eq1" (Staged.stage (codegen problem_eq1));
     Test.make ~name:"codegen-emit/sd2_1" (Staged.stage (codegen problem_sd2));
     Test.make ~name:"simulate/sd2_1" (Staged.stage (simulate problem_sd2));
+    Test.make ~name:"interp-execute/gemm64" (Staged.stage interp_execute);
+    Test.make ~name:"contract-ref/gemm64" (Staged.stage contract_ref);
     Test.make ~name:"generate-end-to-end/eq1" (Staged.stage (full problem_eq1));
     Test.make ~name:"generate-end-to-end/sd2_1" (Staged.stage (full problem_sd2));
   ]

@@ -16,7 +16,10 @@
      suite    list the TCCG benchmark entries
 
    Every subcommand accepts --trace FILE to record a pipeline trace as
-   Chrome trace_event JSON (load in chrome://tracing or Perfetto).
+   Chrome trace_event JSON (load in chrome://tracing or Perfetto), and
+   --jobs N to set the worker-domain count for the parallel sections
+   (overrides COGENT_JOBS; 1 disables parallelism).  Results are
+   bit-identical at any job count.
 
    Examples:
      cogent gen  -e abcd-aebf-dfce -s a=48,b=48,c=48,d=48,e=32,f=32
@@ -79,6 +82,13 @@ let trace_arg =
          ~doc:"Record a pipeline trace and write it to $(docv) as Chrome \
                trace_event JSON (chrome://tracing, Perfetto).")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Worker domains for the parallel sections (ranking, measured \
+               refinement, sweeps).  Overrides $(b,COGENT_JOBS); defaults \
+               to the machine's core count minus one; 1 disables \
+               parallelism.  Results are bit-identical at any job count.")
+
 let resolve_problem expr sizes entry =
   match (entry, expr, sizes) with
   | Some name, None, None -> (
@@ -102,8 +112,10 @@ let or_die = function
       exit 2
 
 (* Run the body of a subcommand with error hardening (failures land on
-   stderr with a nonzero exit, never a backtrace) and optional tracing. *)
-let harness trace f =
+   stderr with a nonzero exit, never a backtrace), the requested
+   worker-domain count, and optional tracing. *)
+let harness ?jobs trace f =
+  Option.iter Tc_par.Pool.set_default_jobs jobs;
   let traced () =
     match trace with
     | None -> f ()
@@ -133,9 +145,9 @@ let harness trace f =
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run trace expr sizes entry arch precision output standalone opencl
+  let run trace jobs expr sizes entry arch precision output standalone opencl
       dialect =
-    harness trace @@ fun () ->
+    harness ?jobs trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
       or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
@@ -189,14 +201,15 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen" ~version
        ~doc:"Generate CUDA, OpenCL or host-C for a tensor contraction")
-    Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
-          $ precision_arg $ output_arg $ standalone $ opencl $ dialect)
+    Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
+          $ arch_arg $ precision_arg $ output_arg $ standalone $ opencl
+          $ dialect)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run trace expr sizes entry arch precision top =
-    harness trace @@ fun () ->
+  let run trace jobs expr sizes entry arch precision top =
+    harness ?jobs trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
       or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
@@ -224,14 +237,14 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~version
        ~doc:"Inspect the configuration search for a contraction")
-    Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
-          $ precision_arg $ top)
+    Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
+          $ arch_arg $ precision_arg $ top)
 
 (* ---- explain ---- *)
 
 let explain_cmd =
-  let run trace pos_expr expr sizes entry arch precision top json =
-    harness trace @@ fun () ->
+  let run trace jobs pos_expr expr sizes entry arch precision top json =
+    harness ?jobs trace @@ fun () ->
     let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
     let problem = or_die (resolve_problem expr sizes entry) in
     let e = or_die (Tc_explain.Explain.analyze ~arch ~precision ~top problem) in
@@ -255,14 +268,14 @@ let explain_cmd =
     (Cmd.info "explain" ~version
        ~doc:"Explain the cost model's choice: prune audit, per-tensor DRAM \
              charges, occupancy limiter, simulator roofline")
-    Term.(const run $ trace_arg $ pos_expr $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ top $ json)
+    Term.(const run $ trace_arg $ jobs_arg $ pos_expr $ expr_arg $ sizes_arg
+          $ entry_arg $ arch_arg $ precision_arg $ top $ json)
 
 (* ---- profile ---- *)
 
 let profile_cmd =
-  let run pos_expr expr sizes entry arch precision json trace =
-    harness None @@ fun () ->
+  let run jobs pos_expr expr sizes entry arch precision json trace =
+    harness ?jobs None @@ fun () ->
     let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
@@ -301,14 +314,14 @@ let profile_cmd =
              interpreter-measured counters cross-validated against the \
              simulator's exact transaction model and the Algorithm-3 cost \
              estimate")
-    Term.(const run $ pos_expr $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
-          $ precision_arg $ json $ timeline)
+    Term.(const run $ jobs_arg $ pos_expr $ expr_arg $ sizes_arg $ entry_arg
+          $ arch_arg $ precision_arg $ json $ timeline)
 
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run trace expr sizes entry arch precision json_file =
-    harness trace @@ fun () ->
+  let run trace jobs expr sizes entry arch precision json_file =
+    harness ?jobs trace @@ fun () ->
     let t0 = Sys.time () in
     let problem = or_die (resolve_problem expr sizes entry) in
     let cg_plan =
@@ -355,6 +368,7 @@ let bench_cmd =
           {
             Tc_profile.Benchrep.target = "bench";
             wall_s = Sys.time () -. t0;
+            jobs = Tc_par.Pool.default_jobs ();
             entries =
               [
                 {
@@ -390,14 +404,14 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~version
        ~doc:"Compare execution strategies on one contraction")
-    Term.(const run $ trace_arg $ expr_arg $ sizes_arg $ entry_arg $ arch_arg
-          $ precision_arg $ json_file)
+    Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
+          $ arch_arg $ precision_arg $ json_file)
 
 (* ---- triples ---- *)
 
 let triples_cmd =
-  let run trace arch nh np =
-    harness trace @@ fun () ->
+  let run trace jobs arch nh np =
+    harness ?jobs trace @@ fun () ->
     Format.printf
       "CCSD(T) triples sweep estimate at nh=%d, np=%d on %s (FP64):@." nh np
       arch.Arch.name;
@@ -426,12 +440,13 @@ let triples_cmd =
   Cmd.v
     (Cmd.info "triples" ~version
        ~doc:"Estimate a CCSD(T) triples sweep; compute E(T) at toy sizes")
-    Term.(const run $ trace_arg $ arch_arg $ nh $ np)
+    Term.(const run $ trace_arg $ jobs_arg $ arch_arg $ nh $ np)
 
 (* ---- suite ---- *)
 
 let suite_cmd =
-  let run () =
+  let run jobs =
+    harness ?jobs None @@ fun () ->
     Format.printf "%-3s %-8s %-12s %-18s %s@." "#" "name" "group" "contraction"
       "sizes";
     List.iter
@@ -447,7 +462,7 @@ let suite_cmd =
       Tc_tccg.Suite.all
   in
   Cmd.v (Cmd.info "suite" ~version ~doc:"List the TCCG benchmark entries")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let main =
   let doc = "COGENT: a code generator for high-performance tensor contractions on GPUs" in

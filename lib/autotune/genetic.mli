@@ -25,7 +25,7 @@ val default_params : params
     seed 42. *)
 
 type trace_point = {
-  evaluations : int;  (** code versions run so far *)
+  evaluations : int;  (** distinct code versions run so far *)
   best_gflops : float;
   current_gflops : float;  (** the version evaluated at this point *)
 }
@@ -33,8 +33,10 @@ type trace_point = {
 type result = {
   best : Cogent.Mapping.t;
   best_gflops : float;
-  trace : trace_point list;  (** chronological *)
+  trace : trace_point list;  (** chronological; one point per candidate *)
   evaluations : int;
+      (** distinct simulator calls: fitness is memoized per decoded
+          mapping within a run, so re-bred duplicates cost nothing *)
   tuning_time_s : float;
       (** simulated wall-clock tuning time: the sum of every evaluated
           version's simulated runtime times the benchmarking repetitions,
@@ -56,5 +58,13 @@ val tc_quality_factor : float
     {!Space} itself.  See DESIGN.md substitutions. *)
 
 val tune :
-  ?params:params -> ?quality:float -> Arch.t -> Precision.t -> Problem.t
-  -> result
+  ?params:params -> ?quality:float
+  -> ?eval:(Cogent.Mapping.t -> float * float)
+  -> Arch.t -> Precision.t -> Problem.t -> result
+(** Runs the tuner.  [eval mapping] must return [(gflops, runtime_s)] for
+    one candidate; it defaults to the simulator-backed {!fitness} (scaled
+    by [quality]) paired with the simulated runtime, and exists so tests
+    can count or stub evaluations.  It must be pure: calls are memoized
+    per mapping and may run concurrently on the domain pool.  Candidate
+    generation (the [seed]-derived RNG stream) stays sequential, so the
+    result is bit-identical at any job count. *)

@@ -158,11 +158,12 @@ let sweep_estimate arch prec ~nh ~np =
   let flops =
     List.fold_left (fun acc (p, _) -> acc +. Problem.flops p) 0.0 entries
   in
+  (* Per-entry estimates are pure, so they fan out on the domain pool;
+     summation stays in entry order, keeping the totals bit-identical at
+     any job count. *)
   let time strategy =
-    List.fold_left
-      (fun acc (p, _) ->
-        acc
-        +.
+    Tc_par.Pool.map
+      (fun (p, _) ->
         match strategy with
         | `Cogent ->
             (Tc_sim.Simkernel.run
@@ -173,7 +174,8 @@ let sweep_estimate arch prec ~nh ~np =
             (Tc_sim.Simkernel.run (Tc_nwchem.Nwgen.plan ~arch ~precision:prec p))
               .Tc_sim.Simkernel.time_s
         | `Ttgt -> (Tc_ttgt.Ttgt.run arch prec p).Tc_ttgt.Ttgt.time_s)
-      0.0 entries
+      entries
+    |> List.fold_left ( +. ) 0.0
   in
   [ ("COGENT", `Cogent); ("NWChem-style", `Nwchem); ("TAL_SH-style", `Ttgt) ]
   |> List.map (fun (strategy, tag) ->

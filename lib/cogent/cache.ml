@@ -2,12 +2,18 @@ open Tc_gpu
 open Tc_expr
 
 type t = {
+  lock : Mutex.t;  (* guards [table], [hits] and [misses] *)
   table : (string, Driver.t) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
 }
 
-let create () = { table = Hashtbl.create 32; hits = 0; misses = 0 }
+let create () =
+  { lock = Mutex.create (); table = Hashtbl.create 32; hits = 0; misses = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let round_pow2 n =
   let rec go p = if p >= n then p else go (2 * p) in
@@ -35,32 +41,42 @@ let miss_counter () = Tc_obs.Metrics.counter "cogent.cache.misses"
 
 let find_or_generate t ?arch ?precision ?measure problem =
   let k = key ?arch ?precision problem in
-  match Hashtbl.find_opt t.table k with
+  match locked t (fun () -> Hashtbl.find_opt t.table k) with
   | Some r ->
-      t.hits <- t.hits + 1;
+      locked t (fun () -> t.hits <- t.hits + 1);
       Tc_obs.Metrics.incr (hit_counter ());
       Tc_obs.Trace.instant "cache.hit"
         ~args:[ ("key", Tc_obs.Trace.String k) ];
       r
   | None ->
-      t.misses <- t.misses + 1;
+      locked t (fun () -> t.misses <- t.misses + 1);
       Tc_obs.Metrics.incr (miss_counter ());
       Tc_obs.Trace.instant "cache.miss"
         ~args:[ ("key", Tc_obs.Trace.String k) ];
+      (* Generation runs outside the lock (it is the expensive part and
+         may itself fan out on the pool).  Two domains racing on the same
+         key both generate the same deterministic result; the first
+         insert wins and is what every later lookup sees. *)
       let r =
         Tc_obs.Trace.with_span "cache.generate"
           ~args:[ ("key", Tc_obs.Trace.String k) ]
           (fun () -> Driver.generate_exn ?arch ?precision ?measure problem)
       in
-      Hashtbl.add t.table k r;
-      r
+      locked t (fun () ->
+          match Hashtbl.find_opt t.table k with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.add t.table k r;
+              r)
 
 type stats = { entries : int; hits : int; misses : int }
 
 let stats t =
-  { entries = Hashtbl.length t.table; hits = t.hits; misses = t.misses }
+  locked t (fun () ->
+      { entries = Hashtbl.length t.table; hits = t.hits; misses = t.misses })
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0)

@@ -161,7 +161,13 @@ let explain prec problem mapping =
   }
 
 let rank prec problem mappings =
-  let scored = List.map (fun m -> (m, total prec problem m)) mappings in
+  (* Scoring is pure, so the fan-out over surviving mappings is safe to
+     run on the domain pool; [Pool.map] preserves order and the sort key
+     is total (cost, then [Mapping.compare]), so the ranking is
+     bit-identical at any job count. *)
+  let scored =
+    Tc_par.Pool.map (fun m -> (m, total prec problem m)) mappings
+  in
   List.sort
     (fun (m1, c1) (m2, c2) ->
       match Float.compare c1 c2 with

@@ -52,16 +52,21 @@ let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
             Trace.with_span "driver.refine"
               ~args:[ ("candidates", Trace.Int (List.length candidates)) ]
             @@ fun () ->
-            let best, _ =
-              List.fold_left
-                (fun (bp, bg) (m, _) ->
-                  let p = plan_of m in
-                  let g = run p in
-                  if g > bg then (p, g) else (bp, bg))
-                (plan_of top, run (plan_of top))
-                candidates
-            in
-            best
+            (* [candidates] starts with [top], so measuring exactly the
+               candidate list (no extra seed run) costs [refine]
+               simulator calls; the index-ordered reduction with a
+               strict [>] keeps the earliest candidate on ties, exactly
+               like the sequential fold it replaces. *)
+            (match
+               Tc_par.Pool.fold_best
+                 ~better:(fun (_, g) (_, bg) -> g > bg)
+                 (fun (m, _) ->
+                   let p = plan_of m in
+                   (p, run p))
+                 candidates
+             with
+            | Some (best, _) -> best
+            | None -> plan_of top)
       in
       Log.info (fun m ->
           m "selected %a (cost %.3e)" Mapping.pp plan.Plan.mapping

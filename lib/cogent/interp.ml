@@ -3,14 +3,16 @@ open Tc_expr
 
 (* Mixed-radix decomposition, first radix fastest:
    [decompose 13 [|4;2;2|]] is [|1;1;1|] since 13 = 1 + 4*(1 + 2*1). *)
-let decompose lin radices =
-  let n = Array.length radices in
-  let out = Array.make n 0 in
+let decompose_into out lin radices =
   let r = ref lin in
-  for k = 0 to n - 1 do
+  for k = 0 to Array.length radices - 1 do
     out.(k) <- !r mod radices.(k);
     r := !r / radices.(k)
-  done;
+  done
+
+let decompose lin radices =
+  let out = Array.make (Array.length radices) 0 in
+  decompose_into out lin radices;
   out
 
 let ceil_div a b = (a + b - 1) / b
@@ -175,12 +177,14 @@ let measure_into (c : counters) (plan : Plan.t) =
   let tbk_arr =
     Array.of_list (List.map (fun ax -> (ax.tile, ax.extent)) tbk)
   in
+  let bcoords = Array.make (Array.length block_radices) 0 in
+  let scoords = Array.make (Array.length step_radices) 0 in
   for block = 0 to num_blocks - 1 do
-    let bcoords = decompose block block_radices in
+    decompose_into bcoords block block_radices;
     let xcount = float_of_int (cut_prod bcoords x_axes)
     and ycount = float_of_int (cut_prod bcoords y_axes) in
     for step = 0 to num_steps - 1 do
-      let scoords = decompose step step_radices in
+      decompose_into scoords step step_radices;
       c.tx_lhs <-
         c.tx_lhs
         +. float_of_int
@@ -277,8 +281,6 @@ let execute ?counters (plan : Plan.t) ~lhs ~rhs =
   in
   let slab_a = Dense.create (slab_shape side_a) in
   let slab_b = Dense.create (slab_shape side_b) in
-  let zeros axes = Array.make (List.length axes) 0 in
-  let lhs_grid_zero = zeros lhs_grid and rhs_grid_zero = zeros rhs_grid in
 
   let size_tbx = Mapping.size_tbx mapping
   and size_tby = Mapping.size_tby mapping
@@ -290,6 +292,42 @@ let execute ?counters (plan : Plan.t) ~lhs ~rhs =
   let regx_radices = Array.of_list (List.map (fun ax -> ax.tile) regx) in
   let regy_radices = Array.of_list (List.map (fun ax -> ax.tile) regy) in
   let tbk_radices = Array.of_list (List.map (fun ax -> ax.tile) tbk) in
+
+  (* Per-coordinate offset tables into the slabs: a thread/register/step
+     coordinate's slab offset is the dot product of its decomposed
+     multi-index with the slab strides over those axes (grid-mapped slab
+     axes sit at coordinate 0), so the inner product below adds three
+     table entries per read instead of building an [Index.Map].  Every
+     coordinate is below its axis tile — the slab extent — so the reads
+     are in range by construction and go unchecked. *)
+  let offset_table radices strides first count =
+    let n = Array.length radices in
+    let coords = Array.make n 0 in
+    Array.init count (fun lin ->
+        decompose_into coords lin radices;
+        let off = ref 0 in
+        for k = 0 to n - 1 do
+          off := !off + (coords.(k) * strides.(first + k))
+        done;
+        !off)
+  in
+  let sa_str = Dense.strides slab_a and sb_str = Dense.strides slab_b in
+  let n_tbx = List.length tbx
+  and n_regx = List.length regx
+  and n_tby = List.length tby
+  and n_regy = List.length regy
+  and n_lhs_grid = List.length lhs_grid
+  and n_rhs_grid = List.length rhs_grid in
+  let tx_off_a = offset_table tbx_radices sa_str 0 size_tbx in
+  let rx_off_a = offset_table regx_radices sa_str n_tbx space_regx in
+  let k_off_a =
+    offset_table tbk_radices sa_str (n_tbx + n_regx + n_lhs_grid) space_tbk
+  in
+  let ty_off_b = offset_table tby_radices sb_str 0 size_tby in
+  let ry_off_b = offset_table regy_radices sb_str n_tby space_regy in
+  let k_off_b =
+    offset_table tbk_radices sb_str (n_tby + n_regy + n_rhs_grid) space_tbk
+  in
 
   let env_add axes coords env =
     List.fold_left
@@ -321,8 +359,10 @@ let execute ?counters (plan : Plan.t) ~lhs ~rhs =
         Dense.set slab pos v)
   in
 
+  let bcoords = Array.make (Array.length block_radices) 0 in
+  let scoords = Array.make (Array.length step_radices) 0 in
   for block = 0 to num_blocks - 1 do
-    let bcoords = decompose block block_radices in
+    decompose_into bcoords block block_radices;
     let block_bases =
       List.fold_left
         (fun (k, m) ax ->
@@ -337,7 +377,7 @@ let execute ?counters (plan : Plan.t) ~lhs ~rhs =
           Array.make (space_regx * space_regy) 0.0)
     in
     for step = 0 to num_steps - 1 do
-      let scoords = decompose step step_radices in
+      decompose_into scoords step step_radices;
       let step_bases =
         List.fold_left
           (fun (k, m) ax ->
@@ -349,28 +389,18 @@ let execute ?counters (plan : Plan.t) ~lhs ~rhs =
       fill_slab slab_b b side_b block_bases step_bases;
       (* The serial TB_k sweep with per-thread outer products. *)
       for kk = 0 to space_tbk - 1 do
-        let kcoords = decompose kk tbk_radices in
-        let kenv = env_add tbk kcoords Index.Map.empty in
+        let ka = Array.unsafe_get k_off_a kk
+        and kb = Array.unsafe_get k_off_b kk in
         for ty = 0 to size_tby - 1 do
-          let tycoords = decompose ty tby_radices in
+          let tyb = Array.unsafe_get ty_off_b ty + kb in
           for tx = 0 to size_tbx - 1 do
-            let txcoords = decompose tx tbx_radices in
+            let txa = Array.unsafe_get tx_off_a tx + ka in
             let reg = acc.((ty * size_tbx) + tx) in
             for ry = 0 to space_regy - 1 do
-              let rycoords = decompose ry regy_radices in
-              let envy =
-                env_add rhs_grid rhs_grid_zero
-                  (env_add tby tycoords (env_add regy rycoords kenv))
-              in
-              let bval = Dense.get_named slab_b envy in
+              let bval = Dense.unsafe_get slab_b (tyb + ry_off_b.(ry)) in
               if bval <> 0.0 then
                 for rx = 0 to space_regx - 1 do
-                  let rxcoords = decompose rx regx_radices in
-                  let envx =
-                    env_add lhs_grid lhs_grid_zero
-                      (env_add tbx txcoords (env_add regx rxcoords kenv))
-                  in
-                  let aval = Dense.get_named slab_a envx in
+                  let aval = Dense.unsafe_get slab_a (txa + rx_off_a.(rx)) in
                   reg.((ry * space_regx) + rx) <-
                     reg.((ry * space_regx) + rx) +. (aval *. bval)
                 done

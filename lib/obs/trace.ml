@@ -28,42 +28,70 @@ type open_span = {
 }
 
 type t = {
+  id : int;  (* key for the per-domain span stacks *)
   clock : unit -> float;
   lock : Mutex.t;
   mutable epoch : float option;  (* clock value of the first event *)
   mutable next_seq : int;
-  mutable stack : open_span list;  (* innermost first *)
   mutable recorded : (int * event) list;  (* (begin seq, event), newest first *)
 }
 
+let next_id = Atomic.make 0
+
 let make ?(clock = Sys.time) () =
   {
+    id = Atomic.fetch_and_add next_id 1;
     clock;
     lock = Mutex.create ();
     epoch = None;
     next_seq = 0;
-    stack = [];
     recorded = [];
   }
 
-let ambient : t option ref = ref None
-let install t = ambient := Some t
-let uninstall () = ambient := None
-let installed () = !ambient
-let enabled () = Option.is_some !ambient
+(* Domain-local tracing state: the ambient context and, per context, this
+   domain's stack of open spans.  Span *stacks* are domain-local (each
+   domain nests its own spans), while the recorded-event sink and the
+   sequence counter live in [t] under its mutex — merging every domain's
+   events by sequence number. *)
+type dls_state = {
+  mutable ambient : t option;
+  stacks : (int, open_span list ref) Hashtbl.t;
+}
+
+let dls_key : dls_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { ambient = None; stacks = Hashtbl.create 4 })
+
+let install t = (Domain.DLS.get dls_key).ambient <- Some t
+let uninstall () = (Domain.DLS.get dls_key).ambient <- None
+let installed () = (Domain.DLS.get dls_key).ambient
+
+(* The single-domain fast path: one DLS read and a field load — no
+   allocation, no locking. *)
+let enabled () = Option.is_some (Domain.DLS.get dls_key).ambient
 
 let with_installed t f =
-  let saved = !ambient in
-  ambient := Some t;
-  Fun.protect ~finally:(fun () -> ambient := saved) f
+  let state = Domain.DLS.get dls_key in
+  let saved = state.ambient in
+  state.ambient <- Some t;
+  Fun.protect ~finally:(fun () -> state.ambient <- saved) f
 
-let resolve explicit = match explicit with Some _ -> explicit | None -> !ambient
+let resolve explicit =
+  match explicit with Some _ -> explicit | None -> installed ()
+
+let stack_of t =
+  let state = Domain.DLS.get dls_key in
+  match Hashtbl.find_opt state.stacks t.id with
+  | Some s -> s
+  | None ->
+      let s = ref [] in
+      Hashtbl.replace state.stacks t.id s;
+      s
 
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-(* Both below assume [t.lock] is held. *)
+(* Assumes [t.lock] is held. *)
 let now_us t =
   let raw = t.clock () in
   let epoch =
@@ -75,27 +103,30 @@ let now_us t =
   in
   (raw -. epoch) *. 1e6
 
+(* Assumes [t.lock] is held. *)
 let fresh_seq t =
   let s = t.next_seq in
   t.next_seq <- s + 1;
   s
 
 let begin_span t ~cat ~args name =
-  locked t (fun () ->
-      let span =
+  let stack = stack_of t in
+  let span =
+    locked t (fun () ->
         {
           oseq = fresh_seq t;
           oname = name;
           ocat = cat;
           ostart = now_us t;
-          odepth = List.length t.stack;
+          odepth = List.length !stack;
           oargs = args;
-        }
-      in
-      t.stack <- span :: t.stack;
-      span)
+        })
+  in
+  stack := span :: !stack;
+  span
 
 let end_span t span =
+  let stack = stack_of t in
   locked t (fun () ->
       (* Close any spans the caller leaked below this one, then this one. *)
       let rec unwind = function
@@ -115,7 +146,7 @@ let end_span t span =
             t.recorded <- (s.oseq, ev) :: t.recorded;
             if s == span then rest else unwind rest
       in
-      t.stack <- unwind t.stack)
+      stack := unwind !stack)
 
 let with_span ?t ?(cat = "cogent") ?(args = []) name f =
   match resolve t with
@@ -127,11 +158,13 @@ let with_span ?t ?(cat = "cogent") ?(args = []) name f =
 let add_args ?t args =
   match resolve t with
   | None -> ()
-  | Some t ->
-      locked t (fun () ->
-          match t.stack with
-          | [] -> ()
-          | span :: _ -> span.oargs <- span.oargs @ args)
+  | Some t -> (
+      (* The innermost open span of *this* domain; arg mutation needs no
+         lock because a span is only touched by the domain that opened
+         it until [end_span] publishes it. *)
+      match !(stack_of t) with
+      | [] -> ()
+      | span :: _ -> span.oargs <- span.oargs @ args)
 
 let instant ?t ?(cat = "cogent") ?(args = []) name =
   match resolve t with

@@ -9,6 +9,14 @@
     text, JSON-lines, or Chrome [trace_event] JSON loadable in
     [chrome://tracing] / Perfetto.
 
+    {b Domain safety.}  The ambient context and the stack of open spans
+    are domain-local ([Domain.DLS]): each domain nests its own spans
+    (their [depth] counts from that domain's root), while completed
+    events from every domain merge into the context's shared sink by
+    sequence number.  [Tc_par.Pool] re-installs the submitting domain's
+    ambient context around items it runs on worker domains, so spans
+    recorded inside a parallel section land in the same sink.
+
     Timestamps come from the context's clock (seconds, converted to
     microseconds relative to the first event).  The default clock is
     [Sys.time] — monotone for this process and dependency-free; tests
@@ -43,8 +51,9 @@ val make : ?clock:(unit -> float) -> unit -> t
     monotone.  Default: [Sys.time]. *)
 
 val install : t -> unit
-(** Make [t] the ambient context: subsequent [with_span]/[instant]/[counter]
-    calls without an explicit [?t] record into it. *)
+(** Make [t] the ambient context of the {e calling domain}: subsequent
+    [with_span]/[instant]/[counter] calls without an explicit [?t] record
+    into it. *)
 
 val uninstall : unit -> unit
 

@@ -1,0 +1,75 @@
+(** A fixed pool of OCaml 5 domains for the pipeline's embarrassingly
+    parallel fan-outs (cost ranking, measured refinement, autotuner
+    fitness, TTGT variant scoring, per-entry bench generation).
+
+    Zero dependencies beyond the stdlib ([Domain] + [Mutex]/[Condition] —
+    no domainslib).  The design contract, which every caller in this
+    repository relies on:
+
+    {ul
+    {- {b Determinism}: {!map}/{!mapi} are order-preserving and
+       {!fold_best} reduces in index order, so as long as the per-item
+       function is pure, results are bit-identical for every job count —
+       parallelism changes wall time, never output.}
+    {- {b Sequential degradation}: a pool with [jobs = 1] spawns no
+       domains and runs the plain [List.map] path.}
+    {- {b Exception transparency}: if items raise, the exception of the
+       {e lowest-indexed} failing item is re-raised in the caller (with
+       its backtrace), again independent of scheduling.}
+    {- {b Re-entrancy}: an item may itself call {!map} on the same pool
+       (nested fan-outs happen naturally: bench entry -> driver ->
+       cost rank).  The claiming caller always helps execute its own
+       batch, so nesting cannot deadlock even with zero idle workers.}
+    {- {b Trace propagation}: the caller's ambient {!Tc_obs.Trace}
+       context (domain-local since this PR) is re-installed around items
+       that run on worker domains, so spans recorded inside a parallel
+       section land in the same sink as sequential ones.}}
+
+    Pool activity is observable in {!Tc_obs.Metrics.global}:
+    [par.pool.tasks] (items executed), [par.pool.batches] (map calls
+    that actually fanned out), [par.pool.waits] (times a caller blocked
+    waiting for in-flight items), and [par.pool.busy_s] (best-effort
+    [Sys.time] attributed to pool items). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** A pool running at most [jobs] items concurrently: the calling domain
+    plus [jobs - 1] persistent worker domains.  [jobs] defaults to the
+    process default (see {!default_jobs}); values below 1 are clamped to
+    1.  [jobs = 1] spawns no domains. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent.  Maps on a shut-down
+    pool run sequentially. *)
+
+val default : unit -> t
+(** The process-global pool, created on first use with {!default_jobs}
+    workers.  Every [?pool]-less call in the code base shares it, which
+    keeps the total domain count bounded. *)
+
+val default_jobs : unit -> int
+(** The job count the default pool has (or would be created with):
+    {!set_default_jobs}'s value if called, else [COGENT_JOBS] from the
+    environment, else [Domain.recommended_domain_count () - 1], min 1. *)
+
+val set_default_jobs : int -> unit
+(** Override the default pool size (the CLI's [--jobs]).  If the default
+    pool already exists with a different size it is shut down and
+    recreated lazily. *)
+
+val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map].  See the module contract. *)
+
+val mapi : ?pool:t -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val fold_best :
+  ?pool:t -> better:('b -> 'b -> bool) -> ('a -> 'b) -> 'a list -> 'b option
+(** [fold_best ~better f xs] evaluates [f] on every element (in
+    parallel) and then reduces {e in index order}, keeping the incumbent
+    unless [better candidate incumbent] — the deterministic argmax/argmin
+    shape used by measured refinement and TTGT variant selection.  With a
+    strict [better], ties keep the earliest element, exactly like the
+    sequential left fold it replaces.  [None] iff [xs] is empty. *)

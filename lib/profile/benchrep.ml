@@ -14,7 +14,12 @@ type entry = {
   strategies : strategy list;
 }
 
-type doc = { target : string; wall_s : float; entries : entry list }
+type doc = {
+  target : string;
+  wall_s : float;
+  jobs : int;
+  entries : entry list;
+}
 
 let schema = "cogent-bench/1"
 let filename target = Printf.sprintf "BENCH_%s.json" target
@@ -46,6 +51,7 @@ let doc_fields d =
     ("schema", Json.String schema);
     ("target", Json.String d.target);
     ("wall_s", Json.Float d.wall_s);
+    ("jobs", Json.Int d.jobs);
     ("entries", Json.List (List.map entry_to_json d.entries));
   ]
 
@@ -120,11 +126,19 @@ let of_json j =
   else
     let* target = Result.bind (field "target" j) as_string in
     let* wall_s = Result.bind (field "wall_s" j) as_float in
+    (* [jobs] arrived with the parallel runtime; older reports omit it. *)
+    let* jobs =
+      match Json.member "jobs" j with
+      | None -> Ok 1
+      | Some v ->
+          let* f = as_float v in
+          Ok (int_of_float f)
+    in
     let* entries =
       Result.bind (Result.bind (field "entries" j) as_list)
         (map_result entry_of_json)
     in
-    Ok { target; wall_s; entries }
+    Ok { target; wall_s; jobs; entries }
 
 let baseline_of_json j =
   let* s = Result.bind (field "schema" j) as_string in
@@ -150,6 +164,9 @@ let read ~path =
   with
   | exception Sys_error e -> Error e
   | contents -> Result.bind (Json.parse contents) of_json
+
+let equal_modulo_wall a b =
+  { a with wall_s = 0.0; jobs = 1 } = { b with wall_s = 0.0; jobs = 1 }
 
 (* ---- regression gating ---- *)
 

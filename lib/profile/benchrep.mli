@@ -29,7 +29,12 @@ type entry = {
   strategies : strategy list;
 }
 
-type doc = { target : string; wall_s : float; entries : entry list }
+type doc = {
+  target : string;
+  wall_s : float;
+  jobs : int;  (** worker-domain count the report was produced with *)
+  entries : entry list;
+}
 
 val schema : string
 (** ["cogent-bench/1"]. *)
@@ -45,6 +50,13 @@ val write : path:string -> doc -> unit
     {!Tc_obs.Json.parse} and {!of_json}. *)
 
 val read : path:string -> (doc, string) result
+(** Reports written before the parallel runtime lack the [jobs] field;
+    it reads back as [1]. *)
+
+val equal_modulo_wall : doc -> doc -> bool
+(** Structural equality ignoring [wall_s] and [jobs] — the determinism
+    contract: the same target run at different job counts must produce
+    identical results. *)
 
 val baseline_to_json : doc list -> Tc_obs.Json.t
 (** Bundle documents (one per target) into one baseline file. *)

@@ -28,26 +28,54 @@ let contract ~out_indices a b =
   let internals, extent = analyse ~out_indices a b in
   let out_shape = Shape.make (List.map (fun i -> (i, extent i)) out_indices) in
   let out = Dense.create out_shape in
-  (* Odometer over external positions; inner odometer over internals. *)
-  let rec loop_ext env = function
-    | [] ->
-        let acc = ref 0.0 in
-        let rec loop_int env = function
-          | [] ->
-              acc := !acc +. (Dense.get_named a env *. Dense.get_named b env)
-          | i :: rest ->
-              for v = 0 to extent i - 1 do
-                loop_int (Index.Map.add i v env) rest
-              done
-        in
-        loop_int env internals;
-        Dense.set_named out env !acc
-    | i :: rest ->
-        for v = 0 to extent i - 1 do
-          loop_ext (Index.Map.add i v env) rest
-        done
+  (* Precompute each loop index's linear stride in every operand (0 when
+     the index does not appear), so the walk advances plain offsets
+     instead of rebuilding an [Index.Map] per element. *)
+  let stride_in t =
+    let idx = Shape.indices (Dense.shape t) and st = Dense.strides t in
+    fun i ->
+      let rec go k = function
+        | [] -> 0
+        | j :: rest -> if Index.equal j i then st.(k) else go (k + 1) rest
+      in
+      go 0 idx
   in
-  loop_ext Index.Map.empty out_indices;
+  let sa = stride_in a and sb = stride_in b and so = stride_in out in
+  let ext =
+    Array.of_list (List.map (fun i -> (extent i, sa i, sb i, so i)) out_indices)
+  in
+  let int_ =
+    Array.of_list (List.map (fun i -> (extent i, sa i, sb i)) internals)
+  in
+  let n_ext = Array.length ext and n_int = Array.length int_ in
+  (* Odometer over external positions; inner odometer over internals.
+     Loop nesting — and hence the floating-point accumulation order — is
+     identical to the [get_named] walk this replaces; every offset is in
+     range by construction ([analyse] checked the extents), so the inner
+     loop reads unchecked. *)
+  let rec loop_int k off_a off_b acc =
+    if k = n_int then
+      acc +. (Dense.unsafe_get a off_a *. Dense.unsafe_get b off_b)
+    else
+      let e, da, db = int_.(k) in
+      let acc = ref acc in
+      for v = 0 to e - 1 do
+        acc := loop_int (k + 1) (off_a + (v * da)) (off_b + (v * db)) !acc
+      done;
+      !acc
+  in
+  let rec loop_ext k off_a off_b off_out =
+    if k = n_ext then Dense.unsafe_set out off_out (loop_int 0 off_a off_b 0.0)
+    else
+      let e, da, db, dc = ext.(k) in
+      for v = 0 to e - 1 do
+        loop_ext (k + 1)
+          (off_a + (v * da))
+          (off_b + (v * db))
+          (off_out + (v * dc))
+      done
+  in
+  loop_ext 0 0 0 0;
   out
 
 let flop_count ~out_indices a b =

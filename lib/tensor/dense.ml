@@ -49,6 +49,9 @@ let add_named t env v =
   t.data.(off) <- t.data.(off) +. v
 
 let unsafe_data t = t.data
+let strides t = Array.copy t.strides
+let unsafe_get t off = Array.unsafe_get t.data off
+let unsafe_set t off v = Array.unsafe_set t.data off v
 
 let iteri t f =
   let rank = Array.length t.dims in

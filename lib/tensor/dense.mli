@@ -30,6 +30,19 @@ val unsafe_data : t -> float array
 (** The underlying flat array (canonical layout).  Exposed for the tight
     loops of {!Matmul} and the plan interpreter. *)
 
+val strides : t -> int array
+(** Per-axis linear strides in shape order ([strides.(0) = 1]); a fresh
+    array the caller may keep.  Pairs with {!unsafe_get}/{!unsafe_set}
+    for loops that precompute their own offsets. *)
+
+val unsafe_get : t -> int -> float
+(** [unsafe_get t off] reads linear offset [off] with {e no} bounds
+    check.  Callers must have validated the walk once up front (e.g. by
+    bounding each axis against the shape); out-of-range offsets are
+    undefined behaviour. *)
+
+val unsafe_set : t -> int -> float -> unit
+
 val linear_offset : t -> int array -> int
 (** Linear offset of a multi-index; bounds-checked. *)
 

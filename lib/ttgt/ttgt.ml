@@ -201,13 +201,20 @@ let plan ?(optimize = false) problem =
   if not optimize then faithful_plan problem
   else
     let candidates = candidate_plans problem in
-    match candidates with
-    | [] -> invalid_arg "Ttgt.plan: no candidates (unreachable)"
-    | first :: _ ->
-        let score t = (estimate Arch.v100 Precision.FP64 t).time_s in
-        List.fold_left
-          (fun best t -> if score t < score best then t else best)
-          first candidates
+    let score t = (estimate Arch.v100 Precision.FP64 t).time_s in
+    (* Estimation is pure, so variants score on the domain pool; the
+       index-ordered argmin with a strict [<] keeps the earliest variant
+       on ties, exactly like the sequential fold it replaces (which also
+       re-scored the incumbent every step — each variant now costs one
+       estimate instead of two). *)
+    match
+      Tc_par.Pool.fold_best
+        ~better:(fun (_, s) (_, bs) -> s < bs)
+        (fun t -> (t, score t))
+        candidates
+    with
+    | Some (t, _) -> t
+    | None -> invalid_arg "Ttgt.plan: no candidates (unreachable)"
 
 let run ?optimize arch prec problem = estimate arch prec (plan ?optimize problem)
 

@@ -90,9 +90,34 @@ let test_tune_trace_monotone () =
         && monotone p.Genetic.best_gflops rest
   in
   check Alcotest.bool "best-so-far is monotone" true (monotone 0.0 r.Genetic.trace);
-  check Alcotest.int "one trace point per evaluation" r.Genetic.evaluations
+  let candidates =
+    quick_params.Genetic.population
+    + (quick_params.Genetic.generations - 1)
+      * (quick_params.Genetic.population - quick_params.Genetic.elite)
+  in
+  check Alcotest.int "one trace point per candidate" candidates
     (List.length r.Genetic.trace);
+  check Alcotest.bool "evaluations count distinct simulator calls" true
+    (r.Genetic.evaluations > 0
+    && r.Genetic.evaluations <= List.length r.Genetic.trace);
   check Alcotest.bool "tuning time accumulates" true (r.Genetic.tuning_time_s > 0.0)
+
+(* Fitness is memoized per decoded mapping: the [eval] hook must fire
+   exactly once per distinct mapping, and [evaluations] counts exactly
+   those calls.  [eval] may run on pool workers, hence the atomic. *)
+let test_memoized_distinct_evaluations () =
+  let calls = Atomic.make 0 in
+  let eval m =
+    Atomic.incr calls;
+    (Genetic.fitness Arch.v100 Precision.FP32 sd2_small m, 1e-3)
+  in
+  let r =
+    Genetic.tune ~params:quick_params ~eval Arch.v100 Precision.FP32 sd2_small
+  in
+  check Alcotest.int "one simulator call per distinct mapping"
+    (Atomic.get calls) r.Genetic.evaluations;
+  check Alcotest.bool "re-bred duplicates hit the memo" true
+    (r.Genetic.evaluations < List.length r.Genetic.trace)
 
 let test_tune_improves_over_random_start () =
   let r = Genetic.tune ~params:quick_params Arch.v100 Precision.FP32 sd2_small in
@@ -176,6 +201,8 @@ let () =
             test_tune_trace_monotone;
           Alcotest.test_case "improves over the initial population" `Quick
             test_tune_improves_over_random_start;
+          Alcotest.test_case "memoized distinct evaluations" `Quick
+            test_memoized_distinct_evaluations;
           Alcotest.test_case "infeasible fitness is zero" `Quick
             test_fitness_zero_for_infeasible;
           Alcotest.test_case "quality factor" `Quick test_quality_factor_applied;

@@ -625,6 +625,21 @@ let test_driver_refine_uses_measure () =
   check Alcotest.int "picked max blocks among top 8" best_blocks
     (Plan.num_blocks r.Driver.plan)
 
+let test_driver_refine_measurement_count () =
+  (* refinement measures each top-[refine] candidate exactly once — no
+     extra seed run for the top plan (atomic: the pool may fan the
+     measurements out across domains) *)
+  let calls = Atomic.make 0 in
+  let measure plan =
+    Atomic.incr calls;
+    float_of_int (Plan.num_blocks plan)
+  in
+  let refine = 6 in
+  let r = Driver.generate_exn ~refine ~measure eq1 in
+  let expected = min refine (List.length r.Driver.ranked) in
+  check Alcotest.int "one measurement per refined candidate" expected
+    (Atomic.get calls)
+
 let test_driver_auto_split () =
   let simulate plan =
     (* stand-in measurement inside the core tests: model cost inverse is
@@ -804,6 +819,8 @@ let () =
           Alcotest.test_case "generate" `Quick test_driver_generate;
           Alcotest.test_case "refine uses measurement" `Quick
             test_driver_refine_uses_measure;
+          Alcotest.test_case "refine measures each candidate once" `Quick
+            test_driver_refine_measurement_count;
           Alcotest.test_case "auto_split" `Quick test_driver_auto_split;
           Alcotest.test_case "top_plans" `Quick test_driver_top_plans;
           Alcotest.test_case "cuda source" `Quick test_driver_cuda_source;

@@ -203,6 +203,7 @@ let sample_doc =
   {
     Benchrep.target = "figX";
     wall_s = 1.5;
+    jobs = 1;
     entries =
       [
         {
@@ -352,6 +353,7 @@ let test_diff_exact_tolerance () =
     {
       Benchrep.target = "prunestats";
       wall_s = 0.0;
+      jobs = 1;
       entries =
         [
           {
