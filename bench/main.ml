@@ -3,7 +3,7 @@
    With no argument, regenerates every figure of the paper plus the pruning
    statistics and the code-generation micro-benchmarks.  Individual targets:
 
-     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|micro
+     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|serve|micro
 
    Each target also writes a machine-readable BENCH_<target>.json report
    (schema cogent-bench/1, see Tc_profile.Benchrep).  Two extra
@@ -29,6 +29,7 @@ let targets =
     ("fig8", Figures.fig8);
     ("prunestats", Figures.prunestats);
     ("ablation", Ablation.run);
+    ("serve", Serve_bench.run);
     ("micro", Micro.run);
   ]
 

@@ -13,19 +13,26 @@
      bench    compare COGENT / NWChem-style / TAL_SH-style strategies on one
               contraction or a TCCG suite entry (--json FILE writes the
               cogent-bench/1 record the bench harness also emits)
+     serve    run a JSONL workload of contraction requests through the
+              batched serving engine (dedup, parallel plan search, model
+              dispatch to the COGENT kernel or the TTGT pipeline, optional
+              on-disk plan store for warm restarts)
      suite    list the TCCG benchmark entries
 
-   Every subcommand accepts --trace FILE to record a pipeline trace as
-   Chrome trace_event JSON (load in chrome://tracing or Perfetto), and
-   --jobs N to set the worker-domain count for the parallel sections
-   (overrides COGENT_JOBS; 1 disables parallelism).  Results are
-   bit-identical at any job count.
+   The generation subcommands share one configuration surface (a
+   Cogent.Ctx built from --arch, --precision and --budget); every
+   subcommand accepts --trace FILE to record a pipeline trace as Chrome
+   trace_event JSON (load in chrome://tracing or Perfetto), and --jobs N
+   to set the worker-domain count for the parallel sections (overrides
+   COGENT_JOBS; 1 disables parallelism).  Results are bit-identical at
+   any job count.
 
    Examples:
      cogent gen  -e abcd-aebf-dfce -s a=48,b=48,c=48,d=48,e=32,f=32
      cogent plan -e "C[a,b] = A[a,k] * B[k,b]" -s a=1024,b=1024,k=512 -n 10
      cogent explain "C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]" -s a=48,b=48,c=48,d=48,e=32,f=32
-     cogent bench --entry sd2_1 --arch p100 --trace sd2_1.trace.json *)
+     cogent bench --entry sd2_1 --arch p100 --trace sd2_1.trace.json
+     cogent serve --requests examples/serve_requests.jsonl --store /tmp/plans --json *)
 
 open Cmdliner
 open Tc_gpu
@@ -89,6 +96,19 @@ let jobs_arg =
                to the machine's core count minus one; 1 disables \
                parallelism.  Results are bit-identical at any job count.")
 
+let budget_arg =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Search budget: rank at most $(docv) surviving configurations \
+               per plan search.  A truncated search degrades gracefully \
+               toward the heuristic top-of-enumeration plan and is flagged \
+               in the output.  Unlimited by default.")
+
+(* The shared front door: every generation subcommand folds its --arch,
+   --precision and --budget into one [Cogent.Ctx.t] (the simulator is the
+   measure — this repo's stand-in for timed runs on real hardware). *)
+let mk_ctx ?jobs arch precision budget =
+  Cogent.Ctx.make ~arch ~precision ~measure:simulate ?jobs ?budget ()
+
 let resolve_problem expr sizes entry =
   match (entry, expr, sizes) with
   | Some name, None, None -> (
@@ -109,6 +129,20 @@ let or_die = function
   | Ok v -> v
   | Error m ->
       prerr_endline ("cogent: " ^ m);
+      exit 2
+
+(* Typed generation errors: [No_viable_mapping] carries the prune audit,
+   which [cogent explain] prints in full so the user sees which rule
+   rejected what. *)
+let or_die_gen ?(stats_table = false) = function
+  | Ok v -> v
+  | Error e ->
+      (if stats_table then
+         match e with
+         | Cogent.Driver.No_viable_mapping s ->
+             Format.eprintf "%a@." Cogent.Prune.pp_stats s
+         | Cogent.Driver.Bad_problem _ -> ());
+      Format.eprintf "cogent: %a@." Cogent.Driver.pp_error e;
       exit 2
 
 (* Run the body of a subcommand with error hardening (failures land on
@@ -145,13 +179,11 @@ let harness ?jobs trace f =
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run trace jobs expr sizes entry arch precision output standalone opencl
-      dialect =
+  let run trace jobs expr sizes entry arch precision budget output standalone
+      opencl dialect =
     harness ?jobs trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
-    let r =
-      or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
-    in
+    let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision budget) problem) in
     let dialect = if opencl then Cogent.Codegen.Opencl else dialect in
     let plan = r.Cogent.Driver.plan in
     let src =
@@ -202,22 +234,21 @@ let gen_cmd =
     (Cmd.info "gen" ~version
        ~doc:"Generate CUDA, OpenCL or host-C for a tensor contraction")
     Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ output_arg $ standalone $ opencl
-          $ dialect)
+          $ arch_arg $ precision_arg $ budget_arg $ output_arg $ standalone
+          $ opencl $ dialect)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run trace jobs expr sizes entry arch precision top =
+  let run trace jobs expr sizes entry arch precision budget top =
     harness ?jobs trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
-    let r =
-      or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
-    in
+    let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision budget) problem) in
     let s = r.Cogent.Driver.prune_stats in
     Format.printf "problem:     %a@." Problem.pp problem;
-    Format.printf "search:      naive space %.3e, enumerated %d, kept %d@."
-      r.Cogent.Driver.naive_space s.Cogent.Prune.enumerated s.Cogent.Prune.kept;
+    Format.printf "search:      naive space %.3e, enumerated %d, kept %d%s@."
+      r.Cogent.Driver.naive_space s.Cogent.Prune.enumerated s.Cogent.Prune.kept
+      (if r.Cogent.Driver.degraded then " (budget-truncated)" else "");
     Format.printf "selected:    %a@.@." Cogent.Plan.pp r.Cogent.Driver.plan;
     Format.printf "top %d configurations by model cost:@." top;
     List.iteri
@@ -238,7 +269,7 @@ let plan_cmd =
     (Cmd.info "plan" ~version
        ~doc:"Inspect the configuration search for a contraction")
     Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ top)
+          $ arch_arg $ precision_arg $ budget_arg $ top)
 
 (* ---- explain ---- *)
 
@@ -247,7 +278,10 @@ let explain_cmd =
     harness ?jobs trace @@ fun () ->
     let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
     let problem = or_die (resolve_problem expr sizes entry) in
-    let e = or_die (Tc_explain.Explain.analyze ~arch ~precision ~top problem) in
+    let e =
+      or_die_gen ~stats_table:true
+        (Tc_explain.Explain.analyze ~arch ~precision ~top problem)
+    in
     if json then
       print_endline (Tc_obs.Json.to_string_pretty (Tc_explain.Explain.to_json e))
     else print_string (Tc_explain.Explain.render e)
@@ -278,9 +312,7 @@ let profile_cmd =
     harness ?jobs None @@ fun () ->
     let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
     let problem = or_die (resolve_problem expr sizes entry) in
-    let r =
-      or_die (Cogent.Driver.generate ~arch ~precision ~measure:simulate problem)
-    in
+    let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision None) problem) in
     let prof = Tc_profile.Profile.profile r.Cogent.Driver.plan in
     (match trace with
     | None -> ()
@@ -325,7 +357,8 @@ let bench_cmd =
     let t0 = Sys.time () in
     let problem = or_die (resolve_problem expr sizes entry) in
     let cg_plan =
-      Cogent.Driver.best_plan ~arch ~precision ~measure:simulate problem
+      (or_die_gen (Cogent.Driver.run (mk_ctx arch precision None) problem))
+        .Cogent.Driver.plan
     in
     let cg_sim = Tc_sim.Simkernel.run cg_plan in
     let nw_plan = Tc_nwchem.Nwgen.plan ~arch ~precision problem in
@@ -407,6 +440,79 @@ let bench_cmd =
     Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
           $ arch_arg $ precision_arg $ json_file)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let run trace jobs requests store arch precision budget json =
+    harness ?jobs trace @@ fun () ->
+    let t0 = Sys.time () in
+    let ctx = mk_ctx ?jobs arch precision budget in
+    let requests =
+      match requests with
+      | Some f -> f
+      | None -> or_die (Error "missing --requests FILE")
+    in
+    let items = or_die (Tc_serve.Request.load_file ~default:ctx requests) in
+    let session = or_die (Tc_serve.Serve.open_session ?store ctx) in
+    let report =
+      Fun.protect
+        ~finally:(fun () -> Tc_serve.Serve.close_session session)
+        (fun () -> Tc_serve.Serve.run session items)
+    in
+    if json then
+      print_endline
+        (Tc_obs.Json.to_string_pretty
+           (Tc_profile.Benchrep.to_json
+              (Tc_serve.Serve.report_doc ~wall_s:(Sys.time () -. t0) report)))
+    else
+      List.iter
+        (fun (r : Tc_serve.Serve.response) ->
+          match r.Tc_serve.Serve.result with
+          | Ok o ->
+              Format.printf "req-%03d  %-24s -> %-6s  %10.3f ms  %8.0f GFLOPS%s%s@."
+                r.Tc_serve.Serve.id r.Tc_serve.Serve.expr
+                (Tc_serve.Serve.engine_name o.Tc_serve.Serve.engine)
+                ((match o.Tc_serve.Serve.engine with
+                 | Tc_serve.Serve.Cogent_kernel -> o.Tc_serve.Serve.cogent_time_s
+                 | Tc_serve.Serve.Ttgt_pipeline -> o.Tc_serve.Serve.ttgt_time_s)
+                *. 1e3)
+                o.Tc_serve.Serve.gflops
+                (if o.Tc_serve.Serve.cached then "  [cached]" else "")
+                (if o.Tc_serve.Serve.degraded then "  [degraded]" else "")
+          | Error e ->
+              Format.printf "req-%03d  %-24s -> error: %a@." r.Tc_serve.Serve.id
+                r.Tc_serve.Serve.expr Tc_serve.Serve.pp_error e)
+        report.Tc_serve.Serve.responses;
+    (* The session counters go to stderr: they differ cold vs warm store,
+       while the report above is byte-identical (modulo wall_s/jobs). *)
+    prerr_string (Tc_serve.Serve.render_summary report.Tc_serve.Serve.summary)
+  in
+  let requests =
+    Arg.(value & opt (some string) None & info [ "requests" ] ~docv:"FILE"
+           ~doc:"JSONL workload: one request object per line, e.g. \
+                 {\"expr\":\"abcd-aebf-dfce\",\"sizes\":\"a=48,b=48,...\"} \
+                 with optional \"arch\" and \"precision\" overrides.")
+  in
+  let store =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR"
+           ~doc:"Plan-store directory: cached plans are loaded from it \
+                 before the batch and flushed back after, so a warm \
+                 restart re-generates nothing.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the per-request report to stdout as a cogent-bench/1 \
+                 document instead of text (session counters still go to \
+                 stderr).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~version
+       ~doc:"Serve a batched workload of contraction requests: dedup by \
+             plan key, search in parallel, dispatch each request to the \
+             COGENT kernel or the TTGT pipeline by predicted time")
+    Term.(const run $ trace_arg $ jobs_arg $ requests $ store $ arch_arg
+          $ precision_arg $ budget_arg $ json)
+
 (* ---- triples ---- *)
 
 let triples_cmd =
@@ -468,8 +574,8 @@ let main =
   let doc = "COGENT: a code generator for high-performance tensor contractions on GPUs" in
   Cmd.group (Cmd.info "cogent" ~version ~doc)
     [
-      gen_cmd; plan_cmd; explain_cmd; profile_cmd; bench_cmd; triples_cmd;
-      suite_cmd;
+      gen_cmd; plan_cmd; explain_cmd; profile_cmd; bench_cmd; serve_cmd;
+      triples_cmd; suite_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,15 +1,26 @@
 open Tc_gpu
 open Tc_expr
 
+(* [In_flight] marks a key whose generation is running on some domain;
+   racing callers wait on [cond] instead of duplicating the search. *)
+type slot = Ready of Driver.t | In_flight
+
 type t = {
   lock : Mutex.t;  (* guards [table], [hits] and [misses] *)
-  table : (string, Driver.t) Hashtbl.t;
+  cond : Condition.t;  (* signalled when an in-flight slot resolves *)
+  table : (string, slot) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
 }
 
 let create () =
-  { lock = Mutex.create (); table = Hashtbl.create 32; hits = 0; misses = 0 }
+  {
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    table = Hashtbl.create 32;
+    hits = 0;
+    misses = 0;
+  }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -29,51 +40,106 @@ let size_class problem =
          Printf.sprintf "%c:%d" i (round_pow2 (Problem.extent problem i)))
        (Classify.all_indices info))
 
-let key ?(arch = Arch.v100) ?(precision = Precision.FP64) problem =
+let key (ctx : Ctx.t) problem =
   Printf.sprintf "%s|%s|%s|%s"
     (Ast.tccg_string (Problem.info problem).Classify.original)
-    arch.Arch.name
-    (Precision.to_string precision)
+    ctx.Ctx.arch.Arch.name
+    (Precision.to_string ctx.Ctx.precision)
     (size_class problem)
 
 let hit_counter () = Tc_obs.Metrics.counter "cogent.cache.hits"
 let miss_counter () = Tc_obs.Metrics.counter "cogent.cache.misses"
 
-let find_or_generate t ?arch ?precision ?measure problem =
-  let k = key ?arch ?precision problem in
-  match locked t (fun () -> Hashtbl.find_opt t.table k) with
-  | Some r ->
-      locked t (fun () -> t.hits <- t.hits + 1);
-      Tc_obs.Metrics.incr (hit_counter ());
-      Tc_obs.Trace.instant "cache.hit"
-        ~args:[ ("key", Tc_obs.Trace.String k) ];
-      r
-  | None ->
-      locked t (fun () -> t.misses <- t.misses + 1);
+let record_hit t k =
+  locked t (fun () -> t.hits <- t.hits + 1);
+  Tc_obs.Metrics.incr (hit_counter ());
+  Tc_obs.Trace.instant "cache.hit" ~args:[ ("key", Tc_obs.Trace.String k) ]
+
+let find_or_generate_ctx t ctx problem =
+  let k = key ctx problem in
+  (* Claim the key under the lock: either we own the generation (we
+     installed [In_flight]), someone else's result is ready, or we wait
+     for the in-flight owner and re-examine. *)
+  let rec claim () =
+    match Hashtbl.find_opt t.table k with
+    | Some (Ready r) -> `Hit r
+    | Some In_flight ->
+        Condition.wait t.cond t.lock;
+        claim ()
+    | None ->
+        Hashtbl.add t.table k In_flight;
+        t.misses <- t.misses + 1;
+        `Generate
+  in
+  match locked t claim with
+  | `Hit r ->
+      record_hit t k;
+      Ok r
+  | `Generate -> (
       Tc_obs.Metrics.incr (miss_counter ());
       Tc_obs.Trace.instant "cache.miss"
         ~args:[ ("key", Tc_obs.Trace.String k) ];
       (* Generation runs outside the lock (it is the expensive part and
-         may itself fan out on the pool).  Two domains racing on the same
-         key both generate the same deterministic result; the first
-         insert wins and is what every later lookup sees. *)
-      let r =
+         may itself fan out on the pool); the [In_flight] slot keeps other
+         domains from duplicating it.  On any failure the slot is removed
+         so a later call can retry — errors are never cached. *)
+      let resolve slot =
+        locked t (fun () ->
+            (match slot with
+            | Some r -> Hashtbl.replace t.table k (Ready r)
+            | None -> Hashtbl.remove t.table k);
+            Condition.broadcast t.cond)
+      in
+      match
         Tc_obs.Trace.with_span "cache.generate"
           ~args:[ ("key", Tc_obs.Trace.String k) ]
-          (fun () -> Driver.generate_exn ?arch ?precision ?measure problem)
-      in
-      locked t (fun () ->
-          match Hashtbl.find_opt t.table k with
-          | Some winner -> winner
-          | None ->
-              Hashtbl.add t.table k r;
-              r)
+          (fun () -> Driver.run ctx problem)
+      with
+      | Ok r ->
+          resolve (Some r);
+          Ok r
+      | Error e ->
+          resolve None;
+          Error e
+      | exception e ->
+          resolve None;
+          raise e)
+
+let find_or_generate t ?arch ?precision ?measure problem =
+  match
+    find_or_generate_ctx t (Ctx.make ?arch ?precision ?measure ()) problem
+  with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Driver.generate: " ^ Driver.error_to_string e)
+
+let install t k r =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k (Ready r))
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k slot acc ->
+          match slot with Ready r -> (k, r) :: acc | In_flight -> acc)
+        t.table [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let mem t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some (Ready _) -> true
+      | Some In_flight | None -> false)
 
 type stats = { entries : int; hits : int; misses : int }
 
 let stats t =
   locked t (fun () ->
-      { entries = Hashtbl.length t.table; hits = t.hits; misses = t.misses })
+      let ready =
+        Hashtbl.fold
+          (fun _ slot n -> match slot with Ready _ -> n + 1 | In_flight -> n)
+          t.table 0
+      in
+      { entries = ready; hits = t.hits; misses = t.misses })
 
 let clear t =
   locked t (fun () ->

@@ -1,0 +1,59 @@
+(** The front-door configuration record of the generator.
+
+    Every entry point used to repeat the same optional arguments
+    ([?arch ?precision ?measure ...]); a [Ctx.t] gathers them into one
+    value that a calling runtime (the CLI, the {!Tc_serve} engine, a
+    library embedder) builds once and threads everywhere:
+    {!Driver.run}, {!Cache.find_or_generate_ctx}, {!Variants.generate_ctx},
+    [Ttgt.plan_ctx].  The old optional-arg signatures remain as thin
+    deprecated wrappers over a context built per call. *)
+
+open Tc_gpu
+
+type measure = Plan.t -> float
+(** Empirical throughput of a candidate plan (higher is better) — in this
+    repository the kernel simulator, on real hardware a timed run. *)
+
+type t = {
+  arch : Arch.t;  (** target device (default V100) *)
+  precision : Precision.t;  (** default FP64 *)
+  refine : int;
+      (** how many top model-ranked candidates the driver benchmarks with
+          [measure] (default 8; 1 = pure model-driven selection) *)
+  measure : measure option;
+      (** when [None], the model ranking alone decides *)
+  jobs : int option;
+      (** worker-domain count for the {!Tc_par.Pool} fan-outs; [None]
+          leaves the process default ([COGENT_JOBS]) untouched *)
+  budget : int option;
+      (** search budget: at most this many surviving configurations are
+          cost-ranked per generation.  [None] = unlimited.  When the
+          budget truncates the space the result is flagged
+          {!Driver.t.degraded} and the selection degrades toward the
+          heuristic top-of-enumeration plan (budget [0] is clamped to 1:
+          the first surviving configuration, no real ranking). *)
+}
+
+val default : t
+(** V100, FP64, refine 8, no measure, process-default jobs, unlimited
+    budget — exactly the historical defaults of [Driver.generate]. *)
+
+val make :
+  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
+  -> ?jobs:int -> ?budget:int -> unit -> t
+(** {!default} with the given fields replaced. *)
+
+val with_arch : Arch.t -> t -> t
+val with_precision : Precision.t -> t -> t
+val with_measure : measure -> t -> t
+val with_refine : int -> t -> t
+val with_jobs : int -> t -> t
+val with_budget : int -> t -> t
+
+val install_jobs : t -> unit
+(** Apply {!t.jobs} to the process-global pool
+    ({!Tc_par.Pool.set_default_jobs}); no-op when [jobs] is [None]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary, e.g.
+    [V100 fp64 refine=8 measured jobs=default budget=unlimited]. *)

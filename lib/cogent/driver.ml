@@ -9,12 +9,25 @@ type t = {
   ranked : (Mapping.t * float) list;
   prune_stats : Prune.stats;
   naive_space : float;
+  degraded : bool;
 }
 
-type measure = Plan.t -> float
+type measure = Ctx.measure
 
-let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
-    ?(refine = 8) ?measure problem =
+type error = No_viable_mapping of Prune.stats | Bad_problem of string
+
+let pp_error ppf = function
+  | No_viable_mapping s ->
+      Format.fprintf ppf
+        "no hardware-feasible configuration for this contraction (enumerated \
+         %d, all rejected)"
+        s.Prune.enumerated
+  | Bad_problem m -> Format.pp_print_string ppf m
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let generate_one (ctx : Ctx.t) problem =
+  let arch = ctx.Ctx.arch and precision = ctx.Ctx.precision in
   let open Tc_obs in
   Trace.with_span "driver.generate"
     ~args:
@@ -29,25 +42,37 @@ let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
     Trace.with_span "driver.enumerate" (fun () -> Enumerate.enumerate problem)
   in
   let kept, prune_stats = Prune.filter arch precision problem configs in
+  (* The search budget keeps the serving layer's worst case bounded: rank
+     only the first [budget] survivors (enumeration order), degrading — at
+     budget 0/1 — to the heuristic top-of-enumeration plan. *)
+  let kept, degraded =
+    match ctx.Ctx.budget with
+    | Some b when List.length kept > max 1 b ->
+        (List.filteri (fun k _ -> k < max 1 b) kept, true)
+    | _ -> (kept, false)
+  in
+  if degraded then
+    Metrics.incr (Metrics.counter "cogent.driver.degraded_searches");
   Log.debug (fun m ->
-      m "%a: enumerated %d, kept %d%s" Tc_expr.Problem.pp problem
+      m "%a: enumerated %d, kept %d%s%s" Tc_expr.Problem.pp problem
         prune_stats.Prune.enumerated prune_stats.Prune.kept
-        (if prune_stats.Prune.relaxed then " (relaxed)" else ""));
+        (if prune_stats.Prune.relaxed then " (relaxed)" else "")
+        (if degraded then " (budget-truncated)" else ""));
   match
     Trace.with_span "driver.cost_rank" (fun () ->
         Cost.rank precision problem kept)
   with
-  | [] -> Error "no hardware-feasible configuration for this contraction"
+  | [] -> Error (No_viable_mapping prune_stats)
   | (top, _) :: _ as ranked ->
       let plan_of mapping = Plan.make ~problem ~mapping ~arch ~precision in
       (* Benchmark the top model-ranked candidates and keep the fastest —
          the paper auto-tunes across the model-selected set (§VI). *)
       let plan =
-        match measure with
+        match ctx.Ctx.measure with
         | None -> plan_of top
         | Some run ->
             let candidates =
-              List.filteri (fun k _ -> k < max 1 refine) ranked
+              List.filteri (fun k _ -> k < max 1 ctx.Ctx.refine) ranked
             in
             Trace.with_span "driver.refine"
               ~args:[ ("candidates", Trace.Int (List.length candidates)) ]
@@ -82,19 +107,17 @@ let generate_one ?(arch = Arch.v100) ?(precision = Precision.FP64)
           ranked;
           prune_stats;
           naive_space = Enumerate.naive_space_size problem;
+          degraded;
         }
 
-let generate ?arch ?precision ?refine ?measure ?(auto_split = false) ?trace
-    problem =
+let run ctx ?(auto_split = false) ?trace problem =
   let body () =
-    let base = generate_one ?arch ?precision ?refine ?measure problem in
+    let base = generate_one ctx problem in
     if not auto_split then base
     else
-      match (Tc_expr.Split.auto problem, measure, base) with
+      match (Tc_expr.Split.auto problem, ctx.Ctx.measure, base) with
       | (split_problem, _ :: _), Some run, Ok base_t -> (
-          match
-            generate_one ?arch ?precision ?refine ~measure:run split_problem
-          with
+          match generate_one ctx split_problem with
           | Error _ -> base
           | Ok split_t ->
               if run split_t.plan > run base_t.plan then Ok split_t else base)
@@ -104,12 +127,18 @@ let generate ?arch ?precision ?refine ?measure ?(auto_split = false) ?trace
   | None -> body ()
   | Some t -> Tc_obs.Trace.with_installed t body
 
-let generate_exn ?arch ?precision ?refine ?measure ?auto_split ?trace problem =
-  match
-    generate ?arch ?precision ?refine ?measure ?auto_split ?trace problem
-  with
+let run_exn ctx ?auto_split ?trace problem =
+  match run ctx ?auto_split ?trace problem with
   | Ok t -> t
-  | Error e -> invalid_arg ("Driver.generate: " ^ e)
+  | Error e -> invalid_arg ("Driver.generate: " ^ error_to_string e)
+
+let generate ?arch ?precision ?refine ?measure ?auto_split ?trace problem =
+  run (Ctx.make ?arch ?precision ?refine ?measure ()) ?auto_split ?trace
+    problem
+
+let generate_exn ?arch ?precision ?refine ?measure ?auto_split ?trace problem =
+  run_exn (Ctx.make ?arch ?precision ?refine ?measure ()) ?auto_split ?trace
+    problem
 
 let best_plan ?arch ?precision ?refine ?measure ?auto_split ?trace problem =
   (generate_exn ?arch ?precision ?refine ?measure ?auto_split ?trace problem)

@@ -3,40 +3,55 @@
     This is the public entry point mirroring the COGENT tool: given a
     contraction (in either concrete syntax), a representative problem size
     and a target device, produce the best kernel plan and its CUDA source,
-    together with the search statistics the paper reports (§IV-A3). *)
+    together with the search statistics the paper reports (§IV-A3).
 
-open Tc_gpu
+    The primary entry point is {!run}, which takes a {!Ctx.t}; the
+    optional-argument functions below it are thin deprecated wrappers kept
+    so historical callers compile unchanged. *)
+
 open Tc_expr
 
 type t = {
-  plan : Plan.t;  (** the selected configuration (see [refine]) *)
+  plan : Plan.t;  (** the selected configuration (see [Ctx.refine]) *)
   ranked : (Mapping.t * float) list;
       (** all surviving configurations, ascending model cost *)
   prune_stats : Prune.stats;
   naive_space : float;  (** unpruned search-space size (§IV formula) *)
+  degraded : bool;
+      (** true when a {!Ctx.t.budget} truncated the surviving space before
+          ranking, so the selection fell back toward the heuristic
+          top-of-enumeration plan *)
 }
 
-type measure = Plan.t -> float
+type measure = Ctx.measure
 (** Empirical throughput of a candidate plan (higher is better) — in this
     repository the kernel simulator, on real hardware a timed run. *)
 
-val generate :
-  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t
-  -> (t, string) result
-(** Defaults: V100, FP64.  Per the paper's methodology, the model ranks the
-    pruned space and the top [refine] candidates (default 8) are then
-    benchmarked with [measure] to select the final kernel; [refine:1]
-    gives pure model-driven selection.  When no [measure] is supplied the
-    model ranking alone decides (equivalent to [refine:1]).  [Error] only
-    when the contraction admits no hardware-feasible configuration (never
-    observed for valid inputs).
+type error =
+  | No_viable_mapping of Prune.stats
+      (** the contraction admits no hardware-feasible configuration (never
+          observed for valid inputs); the stats say what rejected what *)
+  | Bad_problem of string  (** invalid contraction or size map *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val run :
+  Ctx.t -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t
+  -> (t, error) result
+(** Per the paper's methodology, the model ranks the pruned space and the
+    top [ctx.refine] candidates (default 8) are then benchmarked with
+    [ctx.measure] to select the final kernel; [refine = 1] gives pure
+    model-driven selection.  When no measure is supplied the model ranking
+    alone decides.  A [ctx.budget] caps how many surviving configurations
+    are cost-ranked (see {!Ctx.t.budget}); a truncated search is flagged
+    [degraded].
 
     [auto_split:true] additionally considers the {!Tc_expr.Split.auto}
     rewriting of register-starved contractions (an extension §IV names) and
-    keeps whichever variant [measure] scores higher — splitting is a pure
-    relabeling of the same memory, so the winning plan's kernel applies to
-    the original data unchanged.
+    keeps whichever variant [ctx.measure] scores higher — splitting is a
+    pure relabeling of the same memory, so the winning plan's kernel
+    applies to the original data unchanged.
 
     [trace] installs the given {!Tc_obs.Trace} context for the duration of
     the call (restoring any previous one), so every pipeline stage —
@@ -45,13 +60,24 @@ val generate :
     ambient context installed) instrumentation is inert and the result is
     identical. *)
 
+val run_exn : Ctx.t -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t -> t
+
+val generate :
+  ?arch:Tc_gpu.Arch.t -> ?precision:Tc_gpu.Precision.t -> ?refine:int
+  -> ?measure:measure -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t
+  -> Problem.t -> (t, error) result
+(** Deprecated wrapper: builds a {!Ctx.t} from the optional arguments and
+    calls {!run}.  Defaults: V100, FP64. *)
+
 val generate_exn :
-  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t -> t
+  ?arch:Tc_gpu.Arch.t -> ?precision:Tc_gpu.Precision.t -> ?refine:int
+  -> ?measure:measure -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t
+  -> Problem.t -> t
 
 val best_plan :
-  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t -> Plan.t
+  ?arch:Tc_gpu.Arch.t -> ?precision:Tc_gpu.Precision.t -> ?refine:int
+  -> ?measure:measure -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t
+  -> Problem.t -> Plan.t
 (** Shorthand for [(generate_exn p).plan]. *)
 
 val cuda_source : t -> string

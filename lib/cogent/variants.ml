@@ -6,15 +6,19 @@ type t = { ast : Ast.t; variants : variant list }
 
 let ( let* ) = Result.bind
 
-let generate ?(arch = Arch.v100) ?(precision = Precision.FP64) ?measure ast
-    size_list =
-  if size_list = [] then Error "Variants.generate: no representative sizes"
+let generate_ctx ctx ast size_list =
+  if size_list = [] then
+    Error (Driver.Bad_problem "Variants.generate: no representative sizes")
   else begin
     let rec plan_all k acc = function
       | [] -> Ok (List.rev acc)
       | sizes :: rest ->
-          let* problem = Problem.make ast sizes in
-          let* r = Driver.generate ~arch ~precision ?measure problem in
+          let* problem =
+            Result.map_error
+              (fun m -> Driver.Bad_problem m)
+              (Problem.make ast sizes)
+          in
+          let* r = Driver.run ctx problem in
           let name =
             Printf.sprintf "%s_v%d" (Codegen.kernel_name r.Driver.plan) k
           in
@@ -25,6 +29,10 @@ let generate ?(arch = Arch.v100) ?(precision = Precision.FP64) ?measure ast
     let* variants = plan_all 0 [] size_list in
     Ok { ast; variants }
   end
+
+let generate ?arch ?precision ?measure ast size_list =
+  Result.map_error Driver.error_to_string
+    (generate_ctx (Ctx.make ?arch ?precision ?measure ()) ast size_list)
 
 let generate_exn ?arch ?precision ?measure ast size_list =
   match generate ?arch ?precision ?measure ast size_list with

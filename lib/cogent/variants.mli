@@ -23,13 +23,17 @@ type variant = {
 
 type t = private { ast : Ast.t; variants : variant list }
 
+val generate_ctx : Ctx.t -> Ast.t -> Sizes.t list -> (t, Driver.error) result
+(** One plan per representative size (each through the full
+    enumerate/prune/rank/refine pipeline under the given context).
+    [Driver.Bad_problem] on an invalid contraction, an empty size list, or
+    a size map that does not cover the contraction. *)
+
 val generate :
   ?arch:Arch.t -> ?precision:Precision.t -> ?measure:Driver.measure
   -> Ast.t -> Sizes.t list -> (t, string) result
-(** One plan per representative size (each through the full
-    enumerate/prune/rank/refine pipeline).
-    [Error] on an invalid contraction, an empty size list, or a size map
-    that does not cover the contraction. *)
+(** Deprecated wrapper over {!generate_ctx}; errors rendered with
+    {!Driver.error_to_string}. *)
 
 val generate_exn :
   ?arch:Arch.t -> ?precision:Precision.t -> ?measure:Driver.measure

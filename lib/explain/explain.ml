@@ -25,7 +25,7 @@ let analyze ?(arch = Arch.v100) ?(precision = Precision.FP64) ?(top = 3)
   let configs = Enumerate.enumerate problem in
   let kept, stats = Prune.filter arch precision problem configs in
   match Cost.rank precision problem kept with
-  | [] -> Error "no hardware-feasible configuration for this contraction"
+  | [] -> Error (Driver.No_viable_mapping stats)
   | ranked ->
       let candidates =
         List.filteri (fun k _ -> k < max 1 top) ranked

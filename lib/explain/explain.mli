@@ -33,10 +33,12 @@ type t = {
 
 val analyze :
   ?arch:Arch.t -> ?precision:Precision.t -> ?top:int -> Problem.t
-  -> (t, string) result
+  -> (t, Driver.error) result
 (** Enumerate, prune, rank, and explain the [top] (default 3) candidates.
-    Defaults mirror {!Cogent.Driver.generate}: V100, FP64.  [Error] only
-    when no hardware-feasible configuration exists. *)
+    Defaults mirror {!Cogent.Driver.generate}: V100, FP64.  [Error] is
+    [Driver.No_viable_mapping stats] when no hardware-feasible
+    configuration exists — the stats carry the per-rule pruning audit so
+    callers can print {i why} (see [cogent explain]). *)
 
 val render : t -> string
 (** The full human-readable report (what [cogent explain] prints). *)

@@ -3,6 +3,10 @@ open Tc_tensor
 type t = int Index.Map.t
 
 let of_list l =
+  (* Insert in index order so that equal size maps are structurally
+     identical whatever order the caller listed them in — the serving
+     layer's plan store relies on rebuilt problems comparing equal with
+     (=) to the originals. *)
   List.fold_left
     (fun acc (i, n) ->
       if n <= 0 then
@@ -10,7 +14,8 @@ let of_list l =
       if Index.Map.mem i acc then
         invalid_arg (Printf.sprintf "Sizes: duplicate extent for %c" i);
       Index.Map.add i n acc)
-    Index.Map.empty l
+    Index.Map.empty
+    (List.stable_sort (fun (a, _) (b, _) -> Index.compare a b) l)
 
 let uniform indices n = of_list (List.map (fun i -> (i, n)) indices)
 

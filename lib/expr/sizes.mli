@@ -9,7 +9,9 @@ open Tc_tensor
 type t = int Index.Map.t
 
 val of_list : (Index.t * int) list -> t
-(** @raise Invalid_argument on duplicates or non-positive extents. *)
+(** Order-insensitive: the entries are inserted in index order, so equal
+    size maps are structurally identical (safe to compare with [=]).
+    @raise Invalid_argument on duplicates or non-positive extents. *)
 
 val uniform : Index.t list -> int -> t
 (** Every listed index gets the same extent. *)

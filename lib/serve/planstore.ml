@@ -1,0 +1,293 @@
+open Tc_tensor
+open Tc_gpu
+open Tc_expr
+module J = Tc_obs.Json
+
+let schema = "cogent-planstore/1"
+let file ~dir = Filename.concat dir "plans.jsonl"
+let ( let* ) = Result.bind
+
+let rec map_r f = function
+  | [] -> Ok []
+  | x :: tl ->
+      let* y = f x in
+      let* ys = map_r f tl in
+      Ok (y :: ys)
+
+(* ---- decoding primitives ---- *)
+
+let field name json =
+  match J.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let as_string = function
+  | J.String s -> Ok s
+  | _ -> Error "expected a string"
+
+let as_int = function J.Int n -> Ok n | _ -> Error "expected an int"
+let as_bool = function J.Bool b -> Ok b | _ -> Error "expected a bool"
+let as_list = function J.List l -> Ok l | _ -> Error "expected a list"
+
+let as_float j =
+  match J.to_float j with Some f -> Ok f | None -> Error "expected a number"
+
+let as_index s =
+  if String.length s = 1 && Index.is_valid s.[0] then Ok s.[0]
+  else Error (Printf.sprintf "bad index %S" s)
+
+(* ---- mapping codec ---- *)
+
+let binding_to_json (b : Cogent.Mapping.binding) =
+  J.List [ J.String (Index.to_string b.Cogent.Mapping.index); J.Int b.tile ]
+
+let binding_of_json j =
+  let* l = as_list j in
+  match l with
+  | [ i; t ] ->
+      let* s = as_string i in
+      let* index = as_index s in
+      let* tile = as_int t in
+      Ok { Cogent.Mapping.index; tile }
+  | _ -> Error "binding must be [index, tile]"
+
+let bindings_to_json bs = J.List (List.map binding_to_json bs)
+
+let bindings_of_json j =
+  let* l = as_list j in
+  map_r binding_of_json l
+
+let mapping_to_json (m : Cogent.Mapping.t) =
+  J.Obj
+    [
+      ("tbx", bindings_to_json m.Cogent.Mapping.tbx);
+      ("regx", bindings_to_json m.regx);
+      ("tby", bindings_to_json m.tby);
+      ("regy", bindings_to_json m.regy);
+      ("tbk", bindings_to_json m.tbk);
+      ("grid", J.String (Index.list_to_string m.grid));
+    ]
+
+let mapping_of_json j =
+  let part name = Result.bind (field name j) bindings_of_json in
+  let* tbx = part "tbx" in
+  let* regx = part "regx" in
+  let* tby = part "tby" in
+  let* regy = part "regy" in
+  let* tbk = part "tbk" in
+  let* grid_s = Result.bind (field "grid" j) as_string in
+  let* grid = map_r (fun c -> as_index (String.make 1 c)) (List.init (String.length grid_s) (String.get grid_s)) in
+  Ok { Cogent.Mapping.tbx; regx; tby; regy; tbk; grid }
+
+(* ---- prune-stats codec ---- *)
+
+let reason_of_slug s =
+  match
+    List.find_opt
+      (fun r -> Cogent.Prune.reason_slug r = s)
+      Cogent.Prune.all_reasons
+  with
+  | Some r -> Ok r
+  | None -> Error (Printf.sprintf "unknown prune rule %S" s)
+
+let stats_to_json (s : Cogent.Prune.stats) =
+  J.Obj
+    [
+      ("enumerated", J.Int s.Cogent.Prune.enumerated);
+      ("kept", J.Int s.kept);
+      ( "pruned",
+        J.List
+          (List.map
+             (fun (r, n) ->
+               J.List [ J.String (Cogent.Prune.reason_slug r); J.Int n ])
+             s.pruned) );
+      ("hardware_rejects", J.Int s.hardware_rejects);
+      ("performance_rejects", J.Int s.performance_rejects);
+      ("relaxed", J.Bool s.relaxed);
+      ("relax_attempts", J.Int s.relax_attempts);
+    ]
+
+let stats_of_json j =
+  let* enumerated = Result.bind (field "enumerated" j) as_int in
+  let* kept = Result.bind (field "kept" j) as_int in
+  let* pruned_l = Result.bind (field "pruned" j) as_list in
+  let* pruned =
+    map_r
+      (fun row ->
+        let* l = as_list row in
+        match l with
+        | [ slug; n ] ->
+            let* s = as_string slug in
+            let* r = reason_of_slug s in
+            let* n = as_int n in
+            Ok (r, n)
+        | _ -> Error "pruned row must be [rule, count]")
+      pruned_l
+  in
+  let* hardware_rejects = Result.bind (field "hardware_rejects" j) as_int in
+  let* performance_rejects =
+    Result.bind (field "performance_rejects" j) as_int
+  in
+  let* relaxed = Result.bind (field "relaxed" j) as_bool in
+  let* relax_attempts = Result.bind (field "relax_attempts" j) as_int in
+  Ok
+    {
+      Cogent.Prune.enumerated;
+      kept;
+      pruned;
+      hardware_rejects;
+      performance_rejects;
+      relaxed;
+      relax_attempts;
+    }
+
+(* ---- entry codec ---- *)
+
+let entry_to_json (r : Cogent.Driver.t) =
+  let plan = r.Cogent.Driver.plan in
+  let problem = plan.Cogent.Plan.problem in
+  J.Obj
+    [
+      ( "expr",
+        J.String (Ast.tccg_string (Problem.info problem).Classify.original) );
+      ( "sizes",
+        J.Obj
+          (List.map
+             (fun (i, n) -> (Index.to_string i, J.Int n))
+             (Sizes.to_list (Problem.sizes problem))) );
+      ("arch", J.String plan.Cogent.Plan.arch.Arch.name);
+      ("precision", J.String (Precision.to_string plan.Cogent.Plan.precision));
+      ("mapping", mapping_to_json plan.Cogent.Plan.mapping);
+      ( "ranked",
+        J.List
+          (List.map
+             (fun (m, c) -> J.List [ mapping_to_json m; J.Float c ])
+             r.ranked) );
+      ("prune", stats_to_json r.prune_stats);
+      ("naive_space", J.Float r.naive_space);
+      ("degraded", J.Bool r.degraded);
+    ]
+
+let entry_of_json j =
+  let* expr = Result.bind (field "expr" j) as_string in
+  let* sizes_j = field "sizes" j in
+  let* sizes =
+    match sizes_j with
+    | J.Obj kvs ->
+        map_r
+          (fun (k, v) ->
+            let* i = as_index k in
+            let* n = as_int v in
+            Ok (i, n))
+          kvs
+    | _ -> Error "field \"sizes\" must be an object"
+  in
+  let* problem = Problem.of_string expr ~sizes in
+  let* arch_s = Result.bind (field "arch" j) as_string in
+  let* arch =
+    match Arch.by_name arch_s with
+    | Some a -> Ok a
+    | None -> Error (Printf.sprintf "unknown device %S" arch_s)
+  in
+  let* prec_s = Result.bind (field "precision" j) as_string in
+  let* precision =
+    match prec_s with
+    | "fp64" -> Ok Precision.FP64
+    | "fp32" -> Ok Precision.FP32
+    | s -> Error (Printf.sprintf "unknown precision %S" s)
+  in
+  let* mapping = Result.bind (field "mapping" j) mapping_of_json in
+  let* plan =
+    (* [Plan.make] recomputes the model cost — deterministic, so the
+       reloaded entry is bit-identical to the one that was saved. *)
+    match Cogent.Plan.make ~problem ~mapping ~arch ~precision with
+    | p -> Ok p
+    | exception Invalid_argument m -> Error m
+  in
+  let* ranked_l = Result.bind (field "ranked" j) as_list in
+  let* ranked =
+    map_r
+      (fun row ->
+        let* l = as_list row in
+        match l with
+        | [ m; c ] ->
+            let* m = mapping_of_json m in
+            let* c = as_float c in
+            Ok (m, c)
+        | _ -> Error "ranked row must be [mapping, cost]")
+      ranked_l
+  in
+  let* prune_stats = Result.bind (field "prune" j) stats_of_json in
+  let* naive_space = Result.bind (field "naive_space" j) as_float in
+  let* degraded = Result.bind (field "degraded" j) as_bool in
+  Ok { Cogent.Driver.plan; ranked; prune_stats; naive_space; degraded }
+
+(* ---- store I/O ---- *)
+
+let corrupt_rows () =
+  Tc_obs.Metrics.counter "cogent.serve.planstore.corrupt_rows"
+
+let row_of_line line =
+  let* j =
+    Result.map_error (fun m -> "bad JSON: " ^ m) (J.parse line)
+  in
+  let* k = Result.bind (field "key" j) as_string in
+  let* entry = Result.bind (field "entry" j) entry_of_json in
+  Ok (k, entry)
+
+let load ~dir =
+  let path = file ~dir in
+  if not (Sys.file_exists path) then Ok []
+  else
+    let ic = open_in path in
+    let lines =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file -> List.rev acc
+            | l -> go (l :: acc)
+          in
+          go [])
+    in
+    match lines with
+    | [] -> Error (path ^ ": empty plan store (missing schema header)")
+    | header :: rows -> (
+        match J.parse header with
+        | Ok (J.Obj _ as h) when J.member "schema" h = Some (J.String schema)
+          ->
+            Ok
+              (List.filter_map
+                 (fun line ->
+                   if String.trim line = "" then None
+                   else
+                     match row_of_line line with
+                     | Ok row -> Some row
+                     | Error _ ->
+                         Tc_obs.Metrics.incr (corrupt_rows ());
+                         None)
+                 rows)
+        | _ ->
+            Error
+              (Printf.sprintf "%s: not a %s store (bad schema header)" path
+                 schema))
+
+let save ~dir rows =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = file ~dir in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string (J.Obj [ ("schema", J.String schema) ]));
+      output_char oc '\n';
+      List.iter
+        (fun (k, r) ->
+          output_string oc
+            (J.to_string
+               (J.Obj [ ("key", J.String k); ("entry", entry_to_json r) ]));
+          output_char oc '\n')
+        rows);
+  Sys.rename tmp path

@@ -1,0 +1,300 @@
+open Tc_gpu
+
+type engine = Cogent_kernel | Ttgt_pipeline
+
+let engine_name = function Cogent_kernel -> "cogent" | Ttgt_pipeline -> "ttgt"
+
+type error =
+  | Bad_request of string
+  | Generation of Cogent.Driver.error
+  | Crashed of string
+
+let pp_error ppf = function
+  | Bad_request m -> Format.fprintf ppf "bad request: %s" m
+  | Generation e -> Cogent.Driver.pp_error ppf e
+  | Crashed m -> Format.fprintf ppf "generator crashed: %s" m
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type outcome = {
+  key : string;
+  cached : bool;
+  degraded : bool;
+  engine : engine;
+  cogent_time_s : float;
+  ttgt_time_s : float;
+  gflops : float;
+}
+
+type response = {
+  id : int;
+  expr : string;
+  arch : string;
+  precision : string;
+  result : (outcome, error) result;
+}
+
+type summary = {
+  requests : int;
+  distinct : int;
+  loaded : int;
+  generations : int;
+  hits : int;
+  degraded : int;
+  errors : int;
+  to_cogent : int;
+  to_ttgt : int;
+}
+
+type report = { responses : response list; summary : summary }
+
+type session = {
+  ctx : Cogent.Ctx.t;
+  cache : Cogent.Cache.t;
+  store : string option;
+  loaded : int;
+}
+
+let open_session ?store ctx =
+  Cogent.Ctx.install_jobs ctx;
+  let cache = Cogent.Cache.create () in
+  match store with
+  | None -> Ok { ctx; cache; store; loaded = 0 }
+  | Some dir -> (
+      match Planstore.load ~dir with
+      | Error m -> Error m
+      | Ok rows ->
+          List.iter (fun (k, r) -> Cogent.Cache.install cache k r) rows;
+          Ok { ctx; cache; store; loaded = List.length rows })
+
+let close_session s =
+  match s.store with
+  | None -> ()
+  | Some dir -> Planstore.save ~dir (Cogent.Cache.entries s.cache)
+
+let run session items =
+  Tc_obs.Trace.with_span "serve.batch"
+    ~args:[ ("requests", Tc_obs.Trace.Int (List.length items)) ]
+  @@ fun () ->
+  Tc_obs.Metrics.set
+    (Tc_obs.Metrics.gauge "cogent.serve.queue_depth")
+    (float_of_int (List.length items));
+  let before = Cogent.Cache.stats session.cache in
+  let default = session.ctx in
+  (* Resolve every line to either an error response or a work item; the
+     work item's key is the dedup and dispatch handle. *)
+  let resolved =
+    List.map
+      (fun item ->
+        match item with
+        | Error (id, msg) ->
+            Error
+              {
+                id;
+                expr = "";
+                arch = default.Cogent.Ctx.arch.Arch.name;
+                precision = Precision.to_string default.Cogent.Ctx.precision;
+                result = Error (Bad_request msg);
+              }
+        | Ok req -> (
+            match Request.problem req with
+            | Error m ->
+                Error
+                  {
+                    id = req.Request.id;
+                    expr = req.Request.expr;
+                    arch = req.Request.arch.Arch.name;
+                    precision = Precision.to_string req.Request.precision;
+                    result = Error (Bad_request m);
+                  }
+            | Ok problem ->
+                let ctx = Request.ctx ~default req in
+                Ok (req, ctx, problem, Cogent.Cache.key ctx problem)))
+      items
+  in
+  (* Distinct keys in first-appearance order: the fan-out domain.  The
+     order is a pure function of the workload, so [Pool.map] keeps the
+     batch bit-identical at any job count. *)
+  let seen = Hashtbl.create 16 in
+  let distinct =
+    List.filter_map
+      (function
+        | Ok (_, ctx, problem, k) when not (Hashtbl.mem seen k) ->
+            Hashtbl.add seen k ();
+            Some (k, ctx, problem)
+        | _ -> None)
+      resolved
+  in
+  let warm = Hashtbl.create 16 in
+  List.iter
+    (fun (k, _, _) ->
+      if Cogent.Cache.mem session.cache k then Hashtbl.add warm k ())
+    distinct;
+  let generated =
+    Tc_par.Pool.map
+      (fun (k, ctx, problem) ->
+        match Cogent.Cache.find_or_generate_ctx session.cache ctx problem with
+        | Ok r -> (k, Ok r)
+        | Error e -> (k, Error (Generation e))
+        | exception e -> (k, Error (Crashed (Printexc.to_string e))))
+      distinct
+  in
+  let plans = Hashtbl.create 16 in
+  List.iter (fun (k, r) -> Hashtbl.replace plans k r) generated;
+  (* Dispatch: both predictions are evaluated on the plan's representative
+     problem (for a dedup'd request that is the first requester's), so the
+     comparison is apples-to-apples and duplicate requests agree. *)
+  let responses =
+    List.map
+      (function
+        | Error resp -> resp
+        | Ok (req, ctx, _problem, k) ->
+            let result =
+              match Hashtbl.find_opt plans k with
+              | None -> Error (Crashed "internal: generation result missing")
+              | Some (Error e) -> Error e
+              | Some (Ok r) ->
+                  let plan = r.Cogent.Driver.plan in
+                  let sim = Tc_sim.Simkernel.run plan in
+                  let tt =
+                    Tc_ttgt.Ttgt.run_ctx ctx plan.Cogent.Plan.problem
+                  in
+                  let cogent_time_s = sim.Tc_sim.Simkernel.time_s in
+                  let ttgt_time_s = tt.Tc_ttgt.Ttgt.time_s in
+                  let engine, gflops =
+                    if cogent_time_s <= ttgt_time_s then
+                      (Cogent_kernel, sim.Tc_sim.Simkernel.gflops)
+                    else (Ttgt_pipeline, tt.Tc_ttgt.Ttgt.gflops)
+                  in
+                  Ok
+                    {
+                      key = k;
+                      cached = Hashtbl.mem warm k;
+                      degraded = r.Cogent.Driver.degraded;
+                      engine;
+                      cogent_time_s;
+                      ttgt_time_s;
+                      gflops;
+                    }
+            in
+            {
+              id = req.Request.id;
+              expr = req.Request.expr;
+              arch = req.Request.arch.Arch.name;
+              precision = Precision.to_string req.Request.precision;
+              result;
+            })
+      resolved
+  in
+  let after = Cogent.Cache.stats session.cache in
+  let count p = List.length (List.filter p responses) in
+  let ok = count (fun r -> Result.is_ok r.result) in
+  (* A fresh successful search serves its first requester; everyone else —
+     dups, warm-store keys, repeat batches — is a hit.  [generations]
+     counts searches actually run, including failed ones (errors are never
+     cached, so a doomed request retries every batch). *)
+  let fresh_ok =
+    List.length
+      (List.filter
+         (fun (k, r) -> Result.is_ok r && not (Hashtbl.mem warm k))
+         generated)
+  in
+  let summary =
+    {
+      requests = List.length items;
+      distinct = List.length distinct;
+      loaded = session.loaded;
+      generations = after.Cogent.Cache.misses - before.Cogent.Cache.misses;
+      hits = ok - fresh_ok;
+      degraded =
+        count (fun r ->
+            match r.result with Ok o -> o.degraded | Error _ -> false);
+      errors = count (fun r -> Result.is_error r.result);
+      to_cogent =
+        count (fun r ->
+            match r.result with
+            | Ok o -> o.engine = Cogent_kernel
+            | Error _ -> false);
+      to_ttgt =
+        count (fun r ->
+            match r.result with
+            | Ok o -> o.engine = Ttgt_pipeline
+            | Error _ -> false);
+    }
+  in
+  Tc_obs.Metrics.incr ~by:summary.requests
+    (Tc_obs.Metrics.counter "cogent.serve.requests");
+  Tc_obs.Metrics.incr ~by:summary.errors
+    (Tc_obs.Metrics.counter "cogent.serve.errors");
+  Tc_obs.Metrics.incr ~by:summary.degraded
+    (Tc_obs.Metrics.counter "cogent.serve.degraded");
+  Tc_obs.Metrics.incr ~by:summary.to_cogent
+    (Tc_obs.Metrics.counter "cogent.serve.dispatch.cogent");
+  Tc_obs.Metrics.incr ~by:summary.to_ttgt
+    (Tc_obs.Metrics.counter "cogent.serve.dispatch.ttgt");
+  Tc_obs.Metrics.set
+    (Tc_obs.Metrics.gauge "cogent.serve.hit_ratio")
+    (if ok > 0 then float_of_int summary.hits /. float_of_int ok else 0.0);
+  { responses; summary }
+
+let report_doc ~wall_s report =
+  {
+    Tc_profile.Benchrep.target = "serve";
+    wall_s;
+    jobs = Tc_par.Pool.default_jobs ();
+    entries =
+      List.map
+        (fun resp ->
+          {
+            Tc_profile.Benchrep.name = Printf.sprintf "req-%03d" resp.id;
+            expr = (if resp.expr = "" then "-" else resp.expr);
+            arch = resp.arch;
+            precision = resp.precision;
+            strategies =
+              (match resp.result with
+              | Ok o ->
+                  [
+                    {
+                      Tc_profile.Benchrep.strategy = "cogent";
+                      metrics = [ ("time_s", o.cogent_time_s) ];
+                      config = None;
+                    };
+                    {
+                      Tc_profile.Benchrep.strategy = "ttgt";
+                      metrics = [ ("time_s", o.ttgt_time_s) ];
+                      config = None;
+                    };
+                    {
+                      Tc_profile.Benchrep.strategy = "dispatch";
+                      metrics =
+                        [
+                          ("gflops", o.gflops);
+                          ("degraded", if o.degraded then 1.0 else 0.0);
+                        ];
+                      config = Some (engine_name o.engine);
+                    };
+                  ]
+              | Error e ->
+                  [
+                    {
+                      Tc_profile.Benchrep.strategy = "error";
+                      metrics = [];
+                      config = Some (error_to_string e);
+                    };
+                  ]);
+          })
+        report.responses;
+  }
+
+let render_summary s =
+  Printf.sprintf
+    "requests          %d\n\
+     distinct plans    %d\n\
+     store entries     %d loaded\n\
+     plan generations  %d\n\
+     cache hits        %d\n\
+     dispatch          cogent %d, ttgt %d\n\
+     degraded          %d\n\
+     errors            %d\n"
+    s.requests s.distinct s.loaded s.generations s.hits s.to_cogent s.to_ttgt
+    s.degraded s.errors

@@ -1,0 +1,89 @@
+(** The batched contraction-serving engine.
+
+    A session owns a plan cache, optionally backed by an on-disk
+    {!Planstore} (loaded at open, flushed at close — a warm restart
+    re-generates nothing).  {!run} takes a parsed workload, dedups it by
+    {!Cogent.Cache.key}, fans the {e distinct} plan searches out on
+    {!Tc_par.Pool} (first-appearance order, so results are bit-identical
+    at any job count), then dispatches every request to whichever engine
+    the models predict faster: the COGENT kernel ({!Tc_sim.Simkernel} on
+    the cached plan) or the TTGT pipeline ({!Tc_ttgt.Ttgt.run_ctx} on the
+    same representative problem).
+
+    Degradation ladder: a {!Cogent.Ctx.t.budget} falls generation back to
+    the heuristic top-of-enumeration plan (flagged per request); a failed
+    search or malformed request yields a typed {!error} for that request
+    only — the batch always completes. *)
+
+type engine = Cogent_kernel | Ttgt_pipeline
+
+val engine_name : engine -> string
+(** ["cogent"] / ["ttgt"]. *)
+
+type error =
+  | Bad_request of string  (** malformed JSONL line, expression or sizes *)
+  | Generation of Cogent.Driver.error  (** the plan search failed *)
+  | Crashed of string  (** the generator raised; the batch continued *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type outcome = {
+  key : string;  (** the {!Cogent.Cache.key} the request resolved to *)
+  cached : bool;
+      (** plan was already cached when the batch started (a warm store, or
+          an earlier batch on this session) *)
+  degraded : bool;  (** plan came from a budget-truncated search *)
+  engine : engine;  (** dispatch decision: lower predicted time wins *)
+  cogent_time_s : float;  (** simulator prediction for the COGENT kernel *)
+  ttgt_time_s : float;  (** model prediction for the TTGT pipeline *)
+  gflops : float;  (** predicted throughput of the chosen engine *)
+}
+
+type response = {
+  id : int;
+  expr : string;  (** [""] when the line never parsed *)
+  arch : string;
+  precision : string;
+  result : (outcome, error) result;
+}
+
+type summary = {
+  requests : int;
+  distinct : int;  (** distinct plan keys among well-formed requests *)
+  loaded : int;  (** entries loaded from the store at session open *)
+  generations : int;  (** plan searches actually run (0 on a warm store) *)
+  hits : int;  (** requests served from an already-present plan *)
+  degraded : int;
+  errors : int;
+  to_cogent : int;
+  to_ttgt : int;
+}
+
+type report = { responses : response list; summary : summary }
+
+type session
+
+val open_session : ?store:string -> Cogent.Ctx.t -> (session, string) result
+(** [store] names a {!Planstore} directory; its entries pre-populate the
+    cache.  [Error] on an unreadable or wrong-schema store. *)
+
+val close_session : session -> unit
+(** Flush every cached plan back to the store (no-op without one). *)
+
+val run : session -> (Request.t, int * string) result list -> report
+(** Serve one workload (the shape {!Request.load_file} returns); parse
+    failures become [Bad_request] responses.  Responses are in request
+    order.  Safe to call repeatedly on one session; the cache carries
+    over. *)
+
+val report_doc : wall_s:float -> report -> Tc_profile.Benchrep.doc
+(** The [--json] report: a cogent-bench/1 document (target ["serve"]) with
+    one entry per request.  Only batch-invariant data is included —
+    predicted times, dispatch decision, degraded flag, typed errors — so
+    cold-store and warm-store runs at any job count produce documents
+    equal under {!Tc_profile.Benchrep.equal_modulo_wall}. *)
+
+val render_summary : summary -> string
+(** Human-readable session counters (the part deliberately {e not} in
+    {!report_doc}: hits and generations differ cold vs warm). *)

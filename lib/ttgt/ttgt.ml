@@ -193,7 +193,7 @@ let faithful_plan problem =
     permutes = List.rev !permutes;
   }
 
-let plan ?(optimize = false) problem =
+let plan_ctx (ctx : Cogent.Ctx.t) ?(optimize = false) problem =
   Tc_obs.Trace.with_span "ttgt.plan"
     ~args:[ ("optimize", Tc_obs.Trace.Bool optimize) ]
   @@ fun () ->
@@ -201,7 +201,7 @@ let plan ?(optimize = false) problem =
   if not optimize then faithful_plan problem
   else
     let candidates = candidate_plans problem in
-    let score t = (estimate Arch.v100 Precision.FP64 t).time_s in
+    let score t = (estimate ctx.Cogent.Ctx.arch ctx.Cogent.Ctx.precision t).time_s in
     (* Estimation is pure, so variants score on the domain pool; the
        index-ordered argmin with a strict [<] keeps the earliest variant
        on ties, exactly like the sequential fold it replaces (which also
@@ -215,6 +215,12 @@ let plan ?(optimize = false) problem =
     with
     | Some (t, _) -> t
     | None -> invalid_arg "Ttgt.plan: no candidates (unreachable)"
+
+let plan ?optimize problem = plan_ctx Cogent.Ctx.default ?optimize problem
+
+let run_ctx (ctx : Cogent.Ctx.t) ?optimize problem =
+  estimate ctx.Cogent.Ctx.arch ctx.Cogent.Ctx.precision
+    (plan_ctx ctx ?optimize problem)
 
 let run ?optimize arch prec problem = estimate arch prec (plan ?optimize problem)
 

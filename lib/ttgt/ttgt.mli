@@ -29,14 +29,18 @@ type t = {
   permutes : permute_step list;  (** the data movements actually required *)
 }
 
-val plan : ?optimize:bool -> Problem.t -> t
+val plan_ctx : Cogent.Ctx.t -> ?optimize:bool -> Problem.t -> t
 (** With [optimize:false] (the default), the TAL_SH-faithful lowering: M/K
     group orders follow the lhs input's layout and N follows the rhs's, and
     the GEMM result is permuted into C's layout — identity permutes are
     skipped but no search happens.  With [optimize:true] (an extension, see
     DESIGN.md), the small space of group orders and operand orientations is
-    searched for the cheapest-permutation variant under the V100 movement
-    model (the choice is device-independent in practice). *)
+    searched for the cheapest-permutation variant under the context's
+    device and precision movement model. *)
+
+val plan : ?optimize:bool -> Problem.t -> t
+(** {!plan_ctx} under {!Cogent.Ctx.default} (V100/FP64 — the historical
+    behaviour; the optimized choice is device-independent in practice). *)
 
 type estimate = {
   time_s : float;
@@ -49,6 +53,10 @@ type estimate = {
 
 val estimate : Arch.t -> Precision.t -> t -> estimate
 (** Includes a fixed TAL_SH host-runtime overhead per contraction call. *)
+
+val run_ctx : Cogent.Ctx.t -> ?optimize:bool -> Problem.t -> estimate
+(** [plan_ctx] + [estimate] on the context's device/precision — the TTGT
+    side of the serving layer's dispatch comparison. *)
 
 val run : ?optimize:bool -> Arch.t -> Precision.t -> Problem.t -> estimate
 (** [plan] + [estimate]. *)

@@ -601,7 +601,7 @@ let test_variants_emit () =
 
 let test_driver_generate () =
   match Driver.generate eq1 with
-  | Error e -> fail e
+  | Error e -> fail (Driver.error_to_string e)
   | Ok r ->
       check Alcotest.bool "ranked nonempty" true (r.Driver.ranked <> []);
       check (Alcotest.float 0.5) "naive space" 3_981_312.0 r.Driver.naive_space;

@@ -267,7 +267,7 @@ let test_driver_trace () =
   let t = Trace.make ~clock:(ticker ()) () in
   (match Cogent.Driver.generate ~trace:t eq1 with
   | Ok _ -> ()
-  | Error e -> fail e);
+  | Error e -> fail (Cogent.Driver.error_to_string e));
   let names =
     List.filter_map
       (function Trace.Span { name; _ } -> Some name | _ -> None)
@@ -309,7 +309,7 @@ let read_golden file =
 
 let test_explain_golden () =
   match Tc_explain.Explain.analyze eq1 with
-  | Error e -> fail e
+  | Error e -> fail (Cogent.Driver.error_to_string e)
   | Ok report ->
       check Alcotest.string "golden explain report"
         (read_golden "explain_eq1.txt")
@@ -317,7 +317,7 @@ let test_explain_golden () =
 
 let test_explain_json () =
   match Tc_explain.Explain.analyze ~top:1 eq1 with
-  | Error e -> fail e
+  | Error e -> fail (Cogent.Driver.error_to_string e)
   | Ok report -> (
       let j = Tc_explain.Explain.to_json report in
       (* Serializes and reparses to the same tree. *)

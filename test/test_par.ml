@@ -158,6 +158,62 @@ let driver_deterministic_across_jobs =
              Cogent.Mapping.compare m m' = 0 && Float.equal cost cost')
            r1.Cogent.Driver.ranked r4.Cogent.Driver.ranked)
 
+(* ---- plan-cache single-flight: racing domains must not duplicate a
+   generation, and the latched callers must count as hits ---- *)
+
+let test_cache_single_flight () =
+  let problem =
+    Tc_expr.Problem.of_string_exn "ab-ac-cb"
+      ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ]
+  in
+  let calls = Atomic.make 0 in
+  let measure plan =
+    Atomic.incr calls;
+    simulate plan
+  in
+  let ctx = Cogent.Ctx.make ~measure () in
+  (* learn how many measure calls one generation costs, sequentially *)
+  let warmup = Cogent.Cache.create () in
+  (match Cogent.Cache.find_or_generate_ctx warmup ctx problem with
+  | Ok _ -> ()
+  | Error e -> fail (Cogent.Driver.error_to_string e));
+  let per_generation = Atomic.get calls in
+  check Alcotest.bool "generation measures candidates" true (per_generation > 0);
+  (* four domains race on the same key on a fresh cache: whatever the
+     interleaving, at most one generation may actually run *)
+  Atomic.set calls 0;
+  let cache = Cogent.Cache.create () in
+  let results =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Cogent.Cache.find_or_generate_ctx cache ctx problem))
+    |> List.map Domain.join
+  in
+  List.iter
+    (function
+      | Ok _ -> () | Error e -> fail (Cogent.Driver.error_to_string e))
+    results;
+  check Alcotest.int "exactly one generation's worth of measure calls"
+    per_generation (Atomic.get calls);
+  let s = Cogent.Cache.stats cache in
+  check Alcotest.int "one miss: the generation that ran" 1
+    s.Cogent.Cache.misses;
+  check Alcotest.int "three latched callers count as hits" 3
+    s.Cogent.Cache.hits;
+  check Alcotest.int "one cached entry" 1 s.Cogent.Cache.entries;
+  match results with
+  | Ok first :: rest ->
+      List.iter
+        (function
+          | Ok r ->
+              check Alcotest.int "every caller gets the same plan" 0
+                (Cogent.Mapping.compare
+                   first.Cogent.Driver.plan.Cogent.Plan.mapping
+                   r.Cogent.Driver.plan.Cogent.Plan.mapping)
+          | Error _ -> assert false)
+        rest
+  | _ -> assert false
+
 let test_autotune_deterministic_across_jobs () =
   let problem =
     Tc_expr.Problem.of_string_exn "ab-ac-cb"
@@ -207,5 +263,10 @@ let () =
           Gen.to_alcotest driver_deterministic_across_jobs;
           Alcotest.test_case "autotuner jobs 1 vs 4" `Quick
             test_autotune_deterministic_across_jobs;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "single-flight generation under racing domains"
+            `Quick test_cache_single_flight;
         ] );
     ]

@@ -1,0 +1,294 @@
+(* Tests for the serving layer: the Planstore codec and its failure
+   ladder, the engine's dedup / dispatch / typed-error semantics, budget
+   degradation, and warm-restart sessions. *)
+
+open Tc_expr
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
+let ctx = Cogent.Ctx.make ~measure:simulate ()
+
+(* A unique, initially-absent store directory (Planstore.save creates it). *)
+let fresh_dir () =
+  let f = Filename.temp_file "cogent_serve" ".store" in
+  Sys.remove f;
+  f
+
+let drive problem c =
+  match Cogent.Driver.run c problem with
+  | Ok r -> r
+  | Error e -> fail (Cogent.Driver.error_to_string e)
+
+let req id expr sizes =
+  {
+    Tc_serve.Request.id;
+    expr;
+    sizes = Sizes.of_list sizes;
+    arch = Tc_gpu.Arch.v100;
+    precision = Tc_gpu.Precision.FP64;
+  }
+
+(* ---- Planstore ---- *)
+
+(* Save→load must reproduce every entry bit-exactly: the codec stores the
+   contraction textually and *recomputes* plan costs on load, so this
+   property locks both the codec and the determinism of the cost model.
+   Budget-truncated (degraded) entries are covered too. *)
+let planstore_roundtrip =
+  QCheck.Test.make ~count:20
+    ~name:"Planstore save/load round-trips entries bit-exactly"
+    Gen.case_arbitrary
+    (fun c ->
+      let problem = c.Gen.problem in
+      let full =
+        match Cogent.Driver.run ctx problem with
+        | Ok r -> r
+        | Error e ->
+            QCheck.Test.fail_report (Cogent.Driver.error_to_string e)
+      in
+      let degraded =
+        match Cogent.Driver.run (Cogent.Ctx.with_budget 1 ctx) problem with
+        | Ok r -> r
+        | Error e ->
+            QCheck.Test.fail_report (Cogent.Driver.error_to_string e)
+      in
+      let rows =
+        [ (Cogent.Cache.key ctx problem, full); ("degraded-row", degraded) ]
+      in
+      let dir = fresh_dir () in
+      Tc_serve.Planstore.save ~dir rows;
+      match Tc_serve.Planstore.load ~dir with
+      | Error m -> QCheck.Test.fail_report m
+      | Ok rows' -> rows = rows')
+
+let test_planstore_missing_is_empty () =
+  match Tc_serve.Planstore.load ~dir:(fresh_dir ()) with
+  | Ok [] -> ()
+  | Ok _ -> fail "missing store must load as empty"
+  | Error m -> fail m
+
+let test_planstore_rejects_wrong_schema () =
+  let dir = fresh_dir () in
+  Sys.mkdir dir 0o755;
+  let write content =
+    let oc = open_out (Tc_serve.Planstore.file ~dir) in
+    output_string oc content;
+    close_out oc
+  in
+  write "{\"schema\":\"cogent-planstore/999\"}\n";
+  (match Tc_serve.Planstore.load ~dir with
+  | Error _ -> ()
+  | Ok _ -> fail "wrong-schema store must be rejected");
+  write "";
+  match Tc_serve.Planstore.load ~dir with
+  | Error _ -> ()
+  | Ok _ -> fail "headerless store must be rejected"
+
+let test_planstore_skips_corrupt_row () =
+  let problem =
+    Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ]
+  in
+  let r = drive problem ctx in
+  let dir = fresh_dir () in
+  Tc_serve.Planstore.save ~dir [ ("good", r) ];
+  (* corrupt trailing row: truncated JSON, as a crashed writer would leave *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Tc_serve.Planstore.file ~dir)
+  in
+  output_string oc "{\"key\":\"bad\",\"entry\":{\"expr\":\n";
+  close_out oc;
+  let metric () =
+    Option.value ~default:0.0
+      (Tc_obs.Metrics.value Tc_obs.Metrics.global
+         "cogent.serve.planstore.corrupt_rows")
+  in
+  let before = metric () in
+  (match Tc_serve.Planstore.load ~dir with
+  | Error m -> fail m
+  | Ok rows ->
+      check Alcotest.int "good row survives" 1 (List.length rows);
+      check Alcotest.bool "row round-tripped" true ([ ("good", r) ] = rows));
+  check (Alcotest.float 0.0) "corrupt row counted" (before +. 1.0) (metric ())
+
+(* ---- budget degradation ---- *)
+
+let test_budget_degrades_gracefully () =
+  let problem =
+    Problem.of_string_exn "abcd-aebf-dfce"
+      ~sizes:
+        [ ('a', 48); ('b', 48); ('c', 48); ('d', 48); ('e', 32); ('f', 32) ]
+  in
+  let full = drive problem ctx in
+  check Alcotest.bool "unlimited search is not degraded" false
+    full.Cogent.Driver.degraded;
+  (* near-zero budget: clamped to one candidate — the heuristic
+     top-of-enumeration plan — and flagged *)
+  let r = drive problem (Cogent.Ctx.with_budget 0 ctx) in
+  check Alcotest.bool "budget-truncated search is degraded" true
+    r.Cogent.Driver.degraded;
+  check Alcotest.int "exactly one candidate ranked" 1
+    (List.length r.Cogent.Driver.ranked);
+  check Alcotest.bool "still yields a valid plan" true
+    (Result.is_ok
+       (Cogent.Mapping.validate problem r.Cogent.Driver.plan.Cogent.Plan.mapping))
+
+(* ---- the engine ---- *)
+
+let open_session ?store c =
+  match Tc_serve.Serve.open_session ?store c with
+  | Ok s -> s
+  | Error m -> fail m
+
+let test_batch_completes_with_typed_errors () =
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Error (2, "bad JSON: unexpected end of input");
+      Ok (req 3 "definitely not a contraction" [ ('a', 4) ]);
+    ]
+  in
+  let s = open_session ctx in
+  let report = Tc_serve.Serve.run s items in
+  let responses = report.Tc_serve.Serve.responses in
+  check Alcotest.int "every request answered" 3 (List.length responses);
+  check (Alcotest.list Alcotest.int) "responses keep request order" [ 1; 2; 3 ]
+    (List.map (fun r -> r.Tc_serve.Serve.id) responses);
+  (match List.map (fun r -> r.Tc_serve.Serve.result) responses with
+  | [ Ok _; Error (Tc_serve.Serve.Bad_request _); Error (Tc_serve.Serve.Bad_request _) ] -> ()
+  | _ -> fail "expected Ok, Bad_request, Bad_request");
+  check Alcotest.int "summary errors" 2 report.Tc_serve.Serve.summary.Tc_serve.Serve.errors
+
+let test_crash_is_per_request () =
+  (* a measure that raises: generation crashes, but the batch completes
+     and the crash is a typed per-request error *)
+  let boom = Cogent.Ctx.make ~measure:(fun _ -> failwith "boom") () in
+  let s = open_session boom in
+  let report =
+    Tc_serve.Serve.run s [ Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]) ]
+  in
+  match (List.hd report.Tc_serve.Serve.responses).Tc_serve.Serve.result with
+  | Error (Tc_serve.Serve.Crashed _) -> ()
+  | _ -> fail "expected a Crashed error"
+
+let test_dedup_single_generation () =
+  let s = open_session ctx in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      (* same size class (extents round to the same powers of two) *)
+      Ok (req 2 "ab-ac-cb" [ ('a', 60); ('b', 60); ('c', 60) ]);
+      Ok (req 3 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Ok (req 4 "abc-bda-dc" [ ('a', 32); ('b', 32); ('c', 32); ('d', 32) ]);
+    ]
+  in
+  let report = Tc_serve.Serve.run s items in
+  let sum = report.Tc_serve.Serve.summary in
+  check Alcotest.int "two distinct plan keys" 2 sum.Tc_serve.Serve.distinct;
+  check Alcotest.int "two generations" 2 sum.Tc_serve.Serve.generations;
+  check Alcotest.int "duplicates are hits" 2 sum.Tc_serve.Serve.hits;
+  (* duplicate requests dispatch identically *)
+  match
+    List.map (fun r -> r.Tc_serve.Serve.result) report.Tc_serve.Serve.responses
+  with
+  | [ Ok a; Ok b; Ok c; Ok _ ] ->
+      check Alcotest.bool "same key" true
+        (a.Tc_serve.Serve.key = b.Tc_serve.Serve.key
+        && b.Tc_serve.Serve.key = c.Tc_serve.Serve.key);
+      check Alcotest.bool "same decision" true
+        (a.Tc_serve.Serve.engine = b.Tc_serve.Serve.engine
+        && Float.equal a.Tc_serve.Serve.gflops b.Tc_serve.Serve.gflops)
+  | _ -> fail "expected four Ok responses"
+
+let test_degraded_batch () =
+  let s = open_session (Cogent.Ctx.with_budget 0 ctx) in
+  let report =
+    Tc_serve.Serve.run s [ Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]) ]
+  in
+  check Alcotest.int "degraded request counted" 1
+    report.Tc_serve.Serve.summary.Tc_serve.Serve.degraded;
+  match (List.hd report.Tc_serve.Serve.responses).Tc_serve.Serve.result with
+  | Ok o -> check Alcotest.bool "outcome flagged" true o.Tc_serve.Serve.degraded
+  | Error e -> fail (Tc_serve.Serve.error_to_string e)
+
+let test_warm_restart_regenerates_nothing () =
+  let dir = fresh_dir () in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Ok (req 2 "abc-bda-dc" [ ('a', 32); ('b', 32); ('c', 32); ('d', 32) ]);
+      Ok (req 3 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Error (4, "bad JSON: oops");
+    ]
+  in
+  let cold = open_session ~store:dir ctx in
+  let r_cold = Tc_serve.Serve.run cold items in
+  Tc_serve.Serve.close_session cold;
+  check Alcotest.int "cold run generates" 2
+    r_cold.Tc_serve.Serve.summary.Tc_serve.Serve.generations;
+  let warm = open_session ~store:dir ctx in
+  let r_warm = Tc_serve.Serve.run warm items in
+  Tc_serve.Serve.close_session warm;
+  let sum = r_warm.Tc_serve.Serve.summary in
+  check Alcotest.int "warm store loaded both plans" 2 sum.Tc_serve.Serve.loaded;
+  check Alcotest.int "warm run generates nothing" 0
+    sum.Tc_serve.Serve.generations;
+  check Alcotest.int "every ok request is a hit" 3 sum.Tc_serve.Serve.hits;
+  (* the externally visible report is identical cold vs warm *)
+  check Alcotest.bool "cold and warm reports agree" true
+    (Tc_profile.Benchrep.equal_modulo_wall
+       (Tc_serve.Serve.report_doc ~wall_s:0.0 r_cold)
+       (Tc_serve.Serve.report_doc ~wall_s:0.0 r_warm))
+
+(* ---- request parsing ---- *)
+
+let test_request_parsing () =
+  let line =
+    {|{"expr":"ab-ac-cb","sizes":"a=64,b=64,c=64","arch":"a100","precision":"fp32"}|}
+  in
+  (match Tc_serve.Request.of_line ~default:ctx ~id:7 line with
+  | Error m -> fail m
+  | Ok r ->
+      check Alcotest.int "id" 7 r.Tc_serve.Request.id;
+      check Alcotest.string "arch override" "A100"
+        r.Tc_serve.Request.arch.Tc_gpu.Arch.name;
+      check Alcotest.bool "precision override" true
+        (Tc_gpu.Precision.equal Tc_gpu.Precision.FP32
+           r.Tc_serve.Request.precision));
+  (match Tc_serve.Request.of_line ~default:ctx ~id:1 "{\"expr\":\"ab-ac-cb\"}" with
+  | Error _ -> ()
+  | Ok _ -> fail "missing sizes must be rejected");
+  match Tc_serve.Request.of_line ~default:ctx ~id:1 "not json" with
+  | Error _ -> ()
+  | Ok _ -> fail "non-JSON line must be rejected"
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "planstore",
+        [
+          Gen.to_alcotest planstore_roundtrip;
+          Alcotest.test_case "missing store is empty" `Quick
+            test_planstore_missing_is_empty;
+          Alcotest.test_case "wrong schema rejected" `Quick
+            test_planstore_rejects_wrong_schema;
+          Alcotest.test_case "corrupt trailing row skipped" `Quick
+            test_planstore_skips_corrupt_row;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "budget degrades gracefully" `Quick
+            test_budget_degrades_gracefully;
+          Alcotest.test_case "batch completes with typed errors" `Quick
+            test_batch_completes_with_typed_errors;
+          Alcotest.test_case "crash is a per-request error" `Quick
+            test_crash_is_per_request;
+          Alcotest.test_case "dedup: one search per key" `Quick
+            test_dedup_single_generation;
+          Alcotest.test_case "near-zero budget flags the batch" `Quick
+            test_degraded_batch;
+          Alcotest.test_case "warm restart regenerates nothing" `Quick
+            test_warm_restart_regenerates_nothing;
+          Alcotest.test_case "request parsing" `Quick test_request_parsing;
+        ] );
+    ]
