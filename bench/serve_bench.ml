@@ -48,4 +48,20 @@ let run () =
     report.Tc_serve.Serve.responses;
   print_newline ();
   print_string (Tc_serve.Serve.render_summary report.Tc_serve.Serve.summary);
+  (* Deterministic latency summary: the predicted-time histogram is model
+     output observed in request order, so these quantiles are
+     bit-identical at any job count (unlike the *_wall_* instruments,
+     which are deliberately left out of this line). *)
+  List.iter
+    (function
+      | Tc_obs.Metrics.Histogram_v { name; _ } as item
+        when name = "cogent.serve.predicted_seconds" ->
+          Printf.printf "predicted latency  %s\n"
+            (String.concat ", "
+               (List.map
+                  (fun (q, v) ->
+                    Printf.sprintf "p%g %.4f ms" (q *. 100.0) (v *. 1e3))
+                  (Tc_obs.Metrics.quantile_summary item)))
+      | _ -> ())
+    (Tc_obs.Metrics.snapshot Tc_obs.Metrics.global);
   (Tc_serve.Serve.report_doc ~wall_s:0.0 report).Benchrep.entries

@@ -22,10 +22,11 @@
    The generation subcommands share one configuration surface (a
    Cogent.Ctx built from --arch, --precision and --budget); every
    subcommand accepts --trace FILE to record a pipeline trace as Chrome
-   trace_event JSON (load in chrome://tracing or Perfetto), and --jobs N
-   to set the worker-domain count for the parallel sections (overrides
-   COGENT_JOBS; 1 disables parallelism).  Results are bit-identical at
-   any job count.
+   trace_event JSON (load in chrome://tracing or Perfetto), --metrics
+   FILE to write the final metrics snapshot in Prometheus text format,
+   and --jobs N to set the worker-domain count for the parallel sections
+   (overrides COGENT_JOBS; 1 disables parallelism).  Results are
+   bit-identical at any job count.
 
    Examples:
      cogent gen  -e abcd-aebf-dfce -s a=48,b=48,c=48,d=48,e=32,f=32
@@ -89,6 +90,14 @@ let trace_arg =
          ~doc:"Record a pipeline trace and write it to $(docv) as Chrome \
                trace_event JSON (chrome://tracing, Perfetto).")
 
+let metrics_arg =
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+         ~doc:"Write the final metrics snapshot (counters, gauges, latency \
+               histograms) to $(docv) in Prometheus text exposition format. \
+               Instruments whose names contain \"wall\" carry wall-clock \
+               values; everything else is deterministic and byte-identical \
+               at any job count.")
+
 let jobs_arg =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Worker domains for the parallel sections (ranking, measured \
@@ -147,8 +156,10 @@ let or_die_gen ?(stats_table = false) = function
 
 (* Run the body of a subcommand with error hardening (failures land on
    stderr with a nonzero exit, never a backtrace), the requested
-   worker-domain count, and optional tracing. *)
-let harness ?jobs trace f =
+   worker-domain count, optional tracing, and an optional Prometheus
+   metrics file.  Both exports run in [Fun.protect] finalizers so a
+   failing body still leaves its trace and metrics on disk. *)
+let harness ?jobs ?metrics trace f =
   Option.iter Tc_par.Pool.set_default_jobs jobs;
   let traced () =
     match trace with
@@ -161,27 +172,41 @@ let harness ?jobs trace f =
             Printf.eprintf "cogent: wrote trace to %s\n%!" path)
           (fun () -> Tc_obs.Trace.with_installed t f)
   in
+  let measured () =
+    match metrics with
+    | None -> traced ()
+    | Some path ->
+        Fun.protect
+          ~finally:(fun () ->
+            let oc = open_out path in
+            output_string oc
+              (Tc_obs.Metrics.to_prometheus
+                 (Tc_obs.Metrics.snapshot Tc_obs.Metrics.global));
+            close_out oc;
+            Printf.eprintf "cogent: wrote metrics to %s\n%!" path)
+          traced
+  in
   let message = function
     | Sys_error m | Invalid_argument m | Failure m -> Some m
     | _ -> None
   in
-  match traced () with
+  match measured () with
   | v -> v
   | exception e -> (
-      (* A failing trace write surfaces wrapped by [Fun.protect]. *)
-      let e = match e with Fun.Finally_raised e' -> e' | e -> e in
-      match message e with
+      (* A failing trace/metrics write surfaces wrapped by [Fun.protect]. *)
+      let rec unwrap = function Fun.Finally_raised e -> unwrap e | e -> e in
+      match message (unwrap e) with
       | Some m ->
           prerr_endline ("cogent: " ^ m);
           exit 1
-      | None -> raise e)
+      | None -> raise (unwrap e))
 
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run trace jobs expr sizes entry arch precision budget output standalone
-      opencl dialect =
-    harness ?jobs trace @@ fun () ->
+  let run trace metrics jobs expr sizes entry arch precision budget output
+      standalone opencl dialect =
+    harness ?jobs ?metrics trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision budget) problem) in
     let dialect = if opencl then Cogent.Codegen.Opencl else dialect in
@@ -233,15 +258,15 @@ let gen_cmd =
   Cmd.v
     (Cmd.info "gen" ~version
        ~doc:"Generate CUDA, OpenCL or host-C for a tensor contraction")
-    Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ budget_arg $ output_arg $ standalone
-          $ opencl $ dialect)
+    Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ expr_arg
+          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ budget_arg
+          $ output_arg $ standalone $ opencl $ dialect)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run trace jobs expr sizes entry arch precision budget top =
-    harness ?jobs trace @@ fun () ->
+  let run trace metrics jobs expr sizes entry arch precision budget top =
+    harness ?jobs ?metrics trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision budget) problem) in
     let s = r.Cogent.Driver.prune_stats in
@@ -268,14 +293,15 @@ let plan_cmd =
   Cmd.v
     (Cmd.info "plan" ~version
        ~doc:"Inspect the configuration search for a contraction")
-    Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ budget_arg $ top)
+    Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ expr_arg
+          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ budget_arg
+          $ top)
 
 (* ---- explain ---- *)
 
 let explain_cmd =
-  let run trace jobs pos_expr expr sizes entry arch precision top json =
-    harness ?jobs trace @@ fun () ->
+  let run trace metrics jobs pos_expr expr sizes entry arch precision top json =
+    harness ?jobs ?metrics trace @@ fun () ->
     let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
     let problem = or_die (resolve_problem expr sizes entry) in
     let e =
@@ -302,14 +328,15 @@ let explain_cmd =
     (Cmd.info "explain" ~version
        ~doc:"Explain the cost model's choice: prune audit, per-tensor DRAM \
              charges, occupancy limiter, simulator roofline")
-    Term.(const run $ trace_arg $ jobs_arg $ pos_expr $ expr_arg $ sizes_arg
-          $ entry_arg $ arch_arg $ precision_arg $ top $ json)
+    Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ pos_expr
+          $ expr_arg $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ top
+          $ json)
 
 (* ---- profile ---- *)
 
 let profile_cmd =
-  let run jobs pos_expr expr sizes entry arch precision json trace =
-    harness ?jobs None @@ fun () ->
+  let run metrics jobs pos_expr expr sizes entry arch precision json trace =
+    harness ?jobs ?metrics None @@ fun () ->
     let expr = match pos_expr with Some _ -> pos_expr | None -> expr in
     let problem = or_die (resolve_problem expr sizes entry) in
     let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision None) problem) in
@@ -346,14 +373,15 @@ let profile_cmd =
              interpreter-measured counters cross-validated against the \
              simulator's exact transaction model and the Algorithm-3 cost \
              estimate")
-    Term.(const run $ jobs_arg $ pos_expr $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ json $ timeline)
+    Term.(const run $ metrics_arg $ jobs_arg $ pos_expr $ expr_arg
+          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ json
+          $ timeline)
 
 (* ---- bench ---- *)
 
 let bench_cmd =
-  let run trace jobs expr sizes entry arch precision json_file =
-    harness ?jobs trace @@ fun () ->
+  let run trace metrics jobs expr sizes entry arch precision json_file =
+    harness ?jobs ?metrics trace @@ fun () ->
     let t0 = Sys.time () in
     let problem = or_die (resolve_problem expr sizes entry) in
     let cg_plan =
@@ -437,14 +465,15 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~version
        ~doc:"Compare execution strategies on one contraction")
-    Term.(const run $ trace_arg $ jobs_arg $ expr_arg $ sizes_arg $ entry_arg
-          $ arch_arg $ precision_arg $ json_file)
+    Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ expr_arg
+          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ json_file)
 
 (* ---- serve ---- *)
 
 let serve_cmd =
-  let run trace jobs requests store arch precision budget json =
-    harness ?jobs trace @@ fun () ->
+  let run trace metrics jobs requests store arch precision budget json
+      flight_dump =
+    harness ?jobs ?metrics trace @@ fun () ->
     let t0 = Sys.time () in
     let ctx = mk_ctx ?jobs arch precision budget in
     let requests =
@@ -483,9 +512,27 @@ let serve_cmd =
               Format.printf "req-%03d  %-24s -> error: %a@." r.Tc_serve.Serve.id
                 r.Tc_serve.Serve.expr Tc_serve.Serve.pp_error e)
         report.Tc_serve.Serve.responses;
-    (* The session counters go to stderr: they differ cold vs warm store,
-       while the report above is byte-identical (modulo wall_s/jobs). *)
-    prerr_string (Tc_serve.Serve.render_summary report.Tc_serve.Serve.summary)
+    (* Everything below goes to stderr, strictly after the parallel
+       section (DESIGN.md, "Parallel runtime"): generation-failure
+       notices (buffered by [Serve.run]), the session counters — which
+       differ cold vs warm store while the report above stays
+       byte-identical (modulo wall_s/jobs) — and the per-batch metrics
+       snapshot. *)
+    List.iter
+      (fun n -> Printf.eprintf "cogent: %s\n" n)
+      report.Tc_serve.Serve.notices;
+    prerr_string (Tc_serve.Serve.render_summary report.Tc_serve.Serve.summary);
+    Format.eprintf "@.batch metrics@.%a@."
+      Tc_obs.Metrics.pp
+      (Tc_obs.Metrics.snapshot Tc_obs.Metrics.global);
+    Format.pp_print_flush Format.err_formatter ();
+    match flight_dump with
+    | None -> ()
+    | Some path ->
+        Tc_obs.Flightrec.dump ~path Tc_obs.Flightrec.global;
+        Printf.eprintf "cogent: wrote flight recorder (%d entries) to %s\n%!"
+          (List.length (Tc_obs.Flightrec.entries Tc_obs.Flightrec.global))
+          path
   in
   let requests =
     Arg.(value & opt (some string) None & info [ "requests" ] ~docv:"FILE"
@@ -505,19 +552,26 @@ let serve_cmd =
                  document instead of text (session counters still go to \
                  stderr).")
   in
+  let flight_dump =
+    Arg.(value & opt (some string) None & info [ "flight-dump" ] ~docv:"FILE"
+           ~doc:"After the batch, dump the flight recorder — the last N \
+                 per-request summaries (id, cache key, dispatch, error, \
+                 timings) — to $(docv) as JSONL.  The post-mortem record \
+                 for batches with Generation/Crashed errors.")
+  in
   Cmd.v
     (Cmd.info "serve" ~version
        ~doc:"Serve a batched workload of contraction requests: dedup by \
              plan key, search in parallel, dispatch each request to the \
              COGENT kernel or the TTGT pipeline by predicted time")
-    Term.(const run $ trace_arg $ jobs_arg $ requests $ store $ arch_arg
-          $ precision_arg $ budget_arg $ json)
+    Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ requests $ store
+          $ arch_arg $ precision_arg $ budget_arg $ json $ flight_dump)
 
 (* ---- triples ---- *)
 
 let triples_cmd =
-  let run trace jobs arch nh np =
-    harness ?jobs trace @@ fun () ->
+  let run trace metrics jobs arch nh np =
+    harness ?jobs ?metrics trace @@ fun () ->
     Format.printf
       "CCSD(T) triples sweep estimate at nh=%d, np=%d on %s (FP64):@." nh np
       arch.Arch.name;
@@ -546,13 +600,13 @@ let triples_cmd =
   Cmd.v
     (Cmd.info "triples" ~version
        ~doc:"Estimate a CCSD(T) triples sweep; compute E(T) at toy sizes")
-    Term.(const run $ trace_arg $ jobs_arg $ arch_arg $ nh $ np)
+    Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ arch_arg $ nh $ np)
 
 (* ---- suite ---- *)
 
 let suite_cmd =
-  let run jobs =
-    harness ?jobs None @@ fun () ->
+  let run metrics jobs =
+    harness ?jobs ?metrics None @@ fun () ->
     Format.printf "%-3s %-8s %-12s %-18s %s@." "#" "name" "group" "contraction"
       "sizes";
     List.iter
@@ -568,7 +622,7 @@ let suite_cmd =
       Tc_tccg.Suite.all
   in
   Cmd.v (Cmd.info "suite" ~version ~doc:"List the TCCG benchmark entries")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ metrics_arg $ jobs_arg)
 
 let main =
   let doc = "COGENT: a code generator for high-performance tensor contractions on GPUs" in

@@ -49,6 +49,12 @@ let key (ctx : Ctx.t) problem =
 
 let hit_counter () = Tc_obs.Metrics.counter "cogent.cache.hits"
 let miss_counter () = Tc_obs.Metrics.counter "cogent.cache.misses"
+let wait_counter () = Tc_obs.Metrics.counter "cogent.cache.inflight_waits"
+
+(* Wall-clock by design ("wall" in the name keeps it out of the CI
+   replay gate's deterministic subset): how long latched callers block
+   on another domain's in-flight generation. *)
+let wait_hist () = Tc_obs.Metrics.histogram "cogent.cache.wait_wall_seconds"
 
 let record_hit t k =
   locked t (fun () -> t.hits <- t.hits + 1);
@@ -60,10 +66,12 @@ let find_or_generate_ctx t ctx problem =
   (* Claim the key under the lock: either we own the generation (we
      installed [In_flight]), someone else's result is ready, or we wait
      for the in-flight owner and re-examine. *)
+  let waited = ref false in
   let rec claim () =
     match Hashtbl.find_opt t.table k with
     | Some (Ready r) -> `Hit r
     | Some In_flight ->
+        waited := true;
         Condition.wait t.cond t.lock;
         claim ()
     | None ->
@@ -71,7 +79,15 @@ let find_or_generate_ctx t ctx problem =
         t.misses <- t.misses + 1;
         `Generate
   in
-  match locked t claim with
+  let t0 = Sys.time () in
+  let claimed = locked t claim in
+  if !waited then begin
+    Tc_obs.Metrics.incr (wait_counter ());
+    Tc_obs.Metrics.observe (wait_hist ()) (Float.max 0.0 (Sys.time () -. t0));
+    Tc_obs.Trace.instant "cache.wait"
+      ~args:[ ("key", Tc_obs.Trace.String k) ]
+  end;
+  match claimed with
   | `Hit r ->
       record_hit t k;
       Ok r

@@ -26,6 +26,17 @@ let pp_error ppf = function
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
+(* Planner phase times, named with "wall" so the CI replay gate's
+   deterministic subset excludes them (they vary run to run even at a
+   fixed job count). *)
+let timed_phase name f =
+  let t0 = Sys.time () in
+  let r = f () in
+  Tc_obs.Metrics.observe
+    (Tc_obs.Metrics.histogram ("cogent.driver.phase_wall_seconds." ^ name))
+    (Float.max 0.0 (Sys.time () -. t0));
+  r
+
 let generate_one (ctx : Ctx.t) problem =
   let arch = ctx.Ctx.arch and precision = ctx.Ctx.precision in
   let open Tc_obs in
@@ -39,9 +50,12 @@ let generate_one (ctx : Ctx.t) problem =
   @@ fun () ->
   Metrics.incr (Metrics.counter "cogent.driver.generations");
   let configs =
-    Trace.with_span "driver.enumerate" (fun () -> Enumerate.enumerate problem)
+    Trace.with_span "driver.enumerate" (fun () ->
+        timed_phase "enumerate" (fun () -> Enumerate.enumerate problem))
   in
-  let kept, prune_stats = Prune.filter arch precision problem configs in
+  let kept, prune_stats =
+    timed_phase "prune" (fun () -> Prune.filter arch precision problem configs)
+  in
   (* The search budget keeps the serving layer's worst case bounded: rank
      only the first [budget] survivors (enumeration order), degrading — at
      budget 0/1 — to the heuristic top-of-enumeration plan. *)
@@ -60,7 +74,7 @@ let generate_one (ctx : Ctx.t) problem =
         (if degraded then " (budget-truncated)" else ""));
   match
     Trace.with_span "driver.cost_rank" (fun () ->
-        Cost.rank precision problem kept)
+        timed_phase "cost_rank" (fun () -> Cost.rank precision problem kept))
   with
   | [] -> Error (No_viable_mapping prune_stats)
   | (top, _) :: _ as ranked ->
@@ -77,6 +91,7 @@ let generate_one (ctx : Ctx.t) problem =
             Trace.with_span "driver.refine"
               ~args:[ ("candidates", Trace.Int (List.length candidates)) ]
             @@ fun () ->
+            timed_phase "refine" @@ fun () ->
             (* [candidates] starts with [top], so measuring exactly the
                candidate list (no extra seed run) costs [refine]
                simulator calls; the index-ordered reduction with a

@@ -34,7 +34,7 @@ let to_text events =
       | Trace.Instant { name; ts_us; args; _ } ->
           Printf.bprintf buf "* %-30s            @ %.3f ms%s\n" name
             (ts_us /. 1e3) (args_to_string args)
-      | Trace.Counter { name; ts_us; value } ->
+      | Trace.Counter { name; ts_us; value; _ } ->
           Printf.bprintf buf "# %-30s = %-8.6g @ %.3f ms\n" name value
             (ts_us /. 1e3))
     events;
@@ -42,7 +42,7 @@ let to_text events =
 
 let event_to_json ev =
   match ev with
-  | Trace.Span { name; cat; start_us; dur_us; depth; args } ->
+  | Trace.Span { name; cat; start_us; dur_us; depth; track; args } ->
       Json.Obj
         [
           ("type", Json.String "span");
@@ -51,23 +51,26 @@ let event_to_json ev =
           ("ts_us", Json.Float start_us);
           ("dur_us", Json.Float dur_us);
           ("depth", Json.Int depth);
+          ("track", Json.Int track);
           ("args", args_to_json args);
         ]
-  | Trace.Instant { name; cat; ts_us; args } ->
+  | Trace.Instant { name; cat; ts_us; track; args } ->
       Json.Obj
         [
           ("type", Json.String "instant");
           ("name", Json.String name);
           ("cat", Json.String cat);
           ("ts_us", Json.Float ts_us);
+          ("track", Json.Int track);
           ("args", args_to_json args);
         ]
-  | Trace.Counter { name; ts_us; value } ->
+  | Trace.Counter { name; ts_us; track; value } ->
       Json.Obj
         [
           ("type", Json.String "counter");
           ("name", Json.String name);
           ("ts_us", Json.Float ts_us);
+          ("track", Json.Int track);
           ("value", Json.Float value);
         ]
 
@@ -75,46 +78,139 @@ let to_jsonl events =
   String.concat ""
     (List.map (fun ev -> Json.to_string (event_to_json ev) ^ "\n") events)
 
+(* Each recording domain gets its own Chrome thread: tid = track + 1
+   (track numbers are assigned by the deterministic event sequence, see
+   {!Trace}), so multi-domain pool traces render as separate, correctly
+   nested rows in Perfetto instead of one interleaved row. *)
+let tid_of_track track = track + 1
+
 let chrome_event ev =
-  let common name cat ts =
+  let common name cat ts track =
     [
       ("name", Json.String name);
       ("cat", Json.String cat);
       ("ts", Json.Float ts);
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("tid", Json.Int (tid_of_track track));
     ]
   in
   match ev with
-  | Trace.Span { name; cat; start_us; dur_us; args; _ } ->
+  | Trace.Span { name; cat; start_us; dur_us; track; args; _ } ->
       Json.Obj
-        (common name cat start_us
+        (common name cat start_us track
         @ [
             ("ph", Json.String "X");
             ("dur", Json.Float dur_us);
             ("args", args_to_json args);
           ])
-  | Trace.Instant { name; cat; ts_us; args } ->
+  | Trace.Instant { name; cat; ts_us; track; args } ->
       Json.Obj
-        (common name cat ts_us
+        (common name cat ts_us track
         @ [
             ("ph", Json.String "i");
             ("s", Json.String "t");
             ("args", args_to_json args);
           ])
-  | Trace.Counter { name; ts_us; value } ->
+  | Trace.Counter { name; ts_us; track; value } ->
       Json.Obj
-        (common name "counter" ts_us
+        (common name "counter" ts_us track
         @ [
             ("ph", Json.String "C");
             ("args", Json.Obj [ ("value", Json.Float value) ]);
           ])
 
+(* One thread_name metadata record per track so Perfetto labels the rows. *)
+let thread_metadata events =
+  let tracks =
+    List.sort_uniq Int.compare
+      (List.map
+         (function
+           | Trace.Span { track; _ }
+           | Trace.Instant { track; _ }
+           | Trace.Counter { track; _ } ->
+               track)
+         events)
+  in
+  List.map
+    (fun track ->
+      Json.Obj
+        [
+          ("name", Json.String "thread_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int 1);
+          ("tid", Json.Int (tid_of_track track));
+          ( "args",
+            Json.Obj
+              [
+                ( "name",
+                  Json.String
+                    (if track = 0 then "main" else Printf.sprintf "worker-%d" track)
+                );
+              ] );
+        ])
+    tracks
+
+let request_of ev =
+  match
+    List.assoc_opt "request" (Trace.event_args ev)
+  with
+  | Some (Trace.String id) -> Some id
+  | _ -> None
+
+(* Flow events binding one request's spans — which may sit on different
+   tracks when the pool fanned the request's work out — into a single
+   connected tree (Perfetto draws the arrows).  Flow ids are assigned by
+   first appearance of the request id in the (deterministic) event list. *)
+let request_flows events =
+  let order = ref [] and table = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      match (ev, request_of ev) with
+      | Trace.Span { start_us; track; _ }, Some id ->
+          let spans =
+            match Hashtbl.find_opt table id with
+            | Some l -> l
+            | None ->
+                order := id :: !order;
+                []
+          in
+          Hashtbl.replace table id ((start_us, track) :: spans)
+      | _ -> ())
+    events;
+  List.concat
+    (List.mapi
+       (fun k id ->
+         match List.rev (Hashtbl.find table id) with
+         | [] | [ _ ] -> []  (* a single-span request needs no flow *)
+         | spans ->
+             let last = List.length spans - 1 in
+             List.mapi
+               (fun i (ts, track) ->
+                 let ph = if i = 0 then "s" else if i = last then "f" else "t" in
+                 Json.Obj
+                   ([
+                      ("name", Json.String "request");
+                      ("cat", Json.String "request");
+                      ("ph", Json.String ph);
+                      ("id", Json.Int (k + 1));
+                      ("ts", Json.Float ts);
+                      ("pid", Json.Int 1);
+                      ("tid", Json.Int (tid_of_track track));
+                      ("args", Json.Obj [ ("request", Json.String id) ]);
+                    ]
+                   @ if ph = "f" then [ ("bp", Json.String "e") ] else []))
+               spans)
+       (List.rev !order))
+
 let to_chrome events =
   Json.to_string
     (Json.Obj
        [
-         ("traceEvents", Json.List (List.map chrome_event events));
+         ( "traceEvents",
+           Json.List
+             (thread_metadata events
+             @ List.map chrome_event events
+             @ request_flows events) );
          ("displayTimeUnit", Json.String "ms");
        ])
 

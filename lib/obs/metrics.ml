@@ -156,6 +156,92 @@ let reset registry =
               h.n <- 0)
         registry.table)
 
+(* ---- quantiles: a pure function of the snapshot ---- *)
+
+let quantile item q =
+  match item with
+  | Histogram_v { count; buckets; _ } when count > 0 ->
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = q *. float_of_int count in
+      let lower0 =
+        match buckets with
+        | (b, _) :: _ when Float.is_finite b -> Float.min 0.0 b
+        | _ -> 0.0
+      in
+      (* First bucket whose cumulative count reaches the target rank;
+         linear interpolation inside it (Prometheus histogram_quantile
+         semantics).  The overflow bucket has no upper bound, so it
+         reports the highest finite bound instead. *)
+      let rec go lower prev = function
+        | [] -> None
+        | (bound, cum) :: rest ->
+            if float_of_int cum >= rank then
+              if Float.is_finite bound then
+                Some
+                  (lower
+                  +. (bound -. lower)
+                     *. ((rank -. float_of_int prev)
+                        /. float_of_int (cum - prev)))
+              else Some lower
+            else go (if Float.is_finite bound then bound else lower) cum rest
+      in
+      if rank <= 0.0 then Some lower0 else go lower0 0 buckets
+  | _ -> None
+
+let summary_points = [ 0.5; 0.9; 0.99 ]
+
+let quantile_summary item =
+  List.filter_map
+    (fun q -> Option.map (fun v -> (q, v)) (quantile item q))
+    summary_points
+
+(* ---- Prometheus text exposition ---- *)
+
+let prometheus_name name =
+  let s =
+    String.map
+      (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':') as c -> c | _ -> '_')
+      name
+  in
+  if s = "" then "_"
+  else match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+(* Shortest decimal form that parses back to exactly [f] — the same
+   convention as {!Json}, so deterministic values expose to deterministic
+   bytes. *)
+let prometheus_float f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_prometheus items =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Counter_v { name; value } ->
+          let n = prometheus_name name in
+          Printf.bprintf buf "# TYPE %s counter\n%s %s\n" n n
+            (prometheus_float value)
+      | Gauge_v { name; value } ->
+          let n = prometheus_name name in
+          Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" n n
+            (prometheus_float value)
+      | Histogram_v { name; count; sum; buckets } ->
+          let n = prometheus_name name in
+          Printf.bprintf buf "# TYPE %s histogram\n" n;
+          List.iter
+            (fun (bound, cum) ->
+              Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n
+                (prometheus_float bound) cum)
+            buckets;
+          Printf.bprintf buf "%s_sum %s\n" n (prometheus_float sum);
+          Printf.bprintf buf "%s_count %d\n" n count)
+    items;
+  Buffer.contents buf
+
 let to_json items =
   Json.Obj
     (List.map
@@ -194,7 +280,10 @@ let pp fmt items =
       | Counter_v { name; value } ->
           Format.fprintf fmt "%-40s %12.0f" name value
       | Gauge_v { name; value } -> Format.fprintf fmt "%-40s %12.3f" name value
-      | Histogram_v { name; count; sum; _ } ->
-          Format.fprintf fmt "%-40s n=%d sum=%.6g" name count sum)
+      | Histogram_v { name; count; sum; _ } as h ->
+          Format.fprintf fmt "%-40s n=%d sum=%.6g" name count sum;
+          List.iter
+            (fun (q, v) -> Format.fprintf fmt " p%g=%.4g" (q *. 100.0) v)
+            (quantile_summary h))
     items;
   Format.fprintf fmt "@]"

@@ -60,5 +60,35 @@ val value : t -> string -> float option
 val reset : t -> unit
 (** Zero every instrument; registrations survive. *)
 
+val quantile : item -> float -> float option
+(** [quantile h q] estimates the [q]-quantile ([0..1]) of a
+    [Histogram_v] by linear interpolation inside the bucket containing
+    the target rank (Prometheus [histogram_quantile] semantics; the
+    overflow bucket reports the highest finite bound).  A {e pure}
+    function of the snapshot, hence deterministic whenever the recorded
+    counts are.  [None] for non-histograms and empty histograms. *)
+
+val summary_points : float list
+(** The standard latency summary quantiles: [0.5; 0.9; 0.99]. *)
+
+val quantile_summary : item -> (float * float) list
+(** [(q, quantile item q)] for every {!summary_points} entry; [[]] for
+    non-histograms and empty histograms. *)
+
+val to_prometheus : item list -> string
+(** Prometheus text exposition (version 0.0.4) of a snapshot: one
+    [# TYPE] header per instrument, [_bucket{le="..."}]/[_sum]/[_count]
+    series for histograms.  Names are sanitized to the Prometheus
+    charset (every other character becomes [_], e.g.
+    [cogent.serve.requests] exposes as [cogent_serve_requests]); items
+    keep the snapshot's name order and floats use the shortest exact
+    decimal form, so the output is byte-deterministic whenever the
+    snapshot is.  Wall-clock-derived instruments are named with a
+    [wall] component so deterministic consumers (the CI replay gate)
+    can filter them out. *)
+
 val to_json : item list -> Json.t
+
 val pp : Format.formatter -> item list -> unit
+(** Human-readable table; histograms include their {!quantile_summary}
+    as [p50]/[p90]/[p99] columns. *)

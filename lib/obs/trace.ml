@@ -13,10 +13,21 @@ type event =
       start_us : float;
       dur_us : float;
       depth : int;
+      track : int;
       args : args;
     }
-  | Instant of { name : string; cat : string; ts_us : float; args : args }
-  | Counter of { name : string; ts_us : float; value : float }
+  | Instant of {
+      name : string;
+      cat : string;
+      ts_us : float;
+      track : int;
+      args : args;
+    }
+  | Counter of { name : string; ts_us : float; track : int; value : float }
+
+let event_args = function
+  | Span { args; _ } | Instant { args; _ } -> args
+  | Counter _ -> []
 
 type open_span = {
   oseq : int;
@@ -24,6 +35,7 @@ type open_span = {
   ocat : string;
   ostart : float;  (* µs, relative to epoch *)
   odepth : int;
+  otrack : int;
   mutable oargs : args;
 }
 
@@ -33,6 +45,7 @@ type t = {
   lock : Mutex.t;
   mutable epoch : float option;  (* clock value of the first event *)
   mutable next_seq : int;
+  mutable next_track : int;
   mutable recorded : (int * event) list;  (* (begin seq, event), newest first *)
 }
 
@@ -45,21 +58,36 @@ let make ?(clock = Sys.time) () =
     lock = Mutex.create ();
     epoch = None;
     next_seq = 0;
+    next_track = 0;
     recorded = [];
   }
 
-(* Domain-local tracing state: the ambient context and, per context, this
-   domain's stack of open spans.  Span *stacks* are domain-local (each
-   domain nests its own spans), while the recorded-event sink and the
-   sequence counter live in [t] under its mutex — merging every domain's
-   events by sequence number. *)
+type request = { req_id : string; req_attrs : args }
+
+(* Domain-local tracing state: the ambient context, the ambient request
+   scope, and, per context, this domain's stack of open spans plus its
+   track number.  Span *stacks* are domain-local (each domain nests its
+   own spans), while the recorded-event sink, the sequence counter and
+   the track counter live in [t] under its mutex — merging every
+   domain's events by sequence number.  Tracks are handed out in the
+   order domains first record into [t] (i.e. by the deterministic event
+   sequence, never [Domain.self], whose numbering depends on how many
+   pools were created before). *)
 type dls_state = {
   mutable ambient : t option;
+  mutable request : request option;
   stacks : (int, open_span list ref) Hashtbl.t;
+  tracks : (int, int) Hashtbl.t;
 }
 
 let dls_key : dls_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { ambient = None; stacks = Hashtbl.create 4 })
+  Domain.DLS.new_key (fun () ->
+      {
+        ambient = None;
+        request = None;
+        stacks = Hashtbl.create 4;
+        tracks = Hashtbl.create 4;
+      })
 
 let install t = (Domain.DLS.get dls_key).ambient <- Some t
 let uninstall () = (Domain.DLS.get dls_key).ambient <- None
@@ -75,8 +103,33 @@ let with_installed t f =
   state.ambient <- Some t;
   Fun.protect ~finally:(fun () -> state.ambient <- saved) f
 
+(* Full ambient state (context + request scope), for runtimes that move
+   work between domains — [Tc_par.Pool] captures it on the submitting
+   domain and re-installs it around items run on workers. *)
+type ambient = { amb_t : t option; amb_req : request option }
+
+let capture () =
+  let state = Domain.DLS.get dls_key in
+  { amb_t = state.ambient; amb_req = state.request }
+
+let with_ambient amb f =
+  let state = Domain.DLS.get dls_key in
+  let saved_t = state.ambient and saved_r = state.request in
+  state.ambient <- amb.amb_t;
+  state.request <- amb.amb_req;
+  Fun.protect
+    ~finally:(fun () ->
+      state.ambient <- saved_t;
+      state.request <- saved_r)
+    f
+
 let resolve explicit =
   match explicit with Some _ -> explicit | None -> installed ()
+
+let current_request () =
+  match (Domain.DLS.get dls_key).request with
+  | Some r -> Some r.req_id
+  | None -> None
 
 let stack_of t =
   let state = Domain.DLS.get dls_key in
@@ -109,8 +162,30 @@ let fresh_seq t =
   t.next_seq <- s + 1;
   s
 
+(* This domain's track in [t], assigned on first use.  Assumes [t.lock]
+   is held (the counter lives in [t]); the per-domain cache makes every
+   later lookup lock-free in practice (still under the caller's lock). *)
+let track_of t =
+  let state = Domain.DLS.get dls_key in
+  match Hashtbl.find_opt state.tracks t.id with
+  | Some k -> k
+  | None ->
+      let k = t.next_track in
+      t.next_track <- k + 1;
+      Hashtbl.replace state.tracks t.id k;
+      k
+
+(* Stamp the ambient request id onto an event's args so every span and
+   instant recorded inside a request scope — on any domain — is
+   attributable to it. *)
+let stamp_request args =
+  match (Domain.DLS.get dls_key).request with
+  | None -> args
+  | Some r -> ("request", String r.req_id) :: args
+
 let begin_span t ~cat ~args name =
   let stack = stack_of t in
+  let args = stamp_request args in
   let span =
     locked t (fun () ->
         {
@@ -119,6 +194,7 @@ let begin_span t ~cat ~args name =
           ocat = cat;
           ostart = now_us t;
           odepth = List.length !stack;
+          otrack = track_of t;
           oargs = args;
         })
   in
@@ -140,6 +216,7 @@ let end_span t span =
                   start_us = s.ostart;
                   dur_us = Float.max 0.0 (now_us t -. s.ostart);
                   depth = s.odepth;
+                  track = s.otrack;
                   args = s.oargs;
                 }
             in
@@ -154,6 +231,20 @@ let with_span ?t ?(cat = "cogent") ?(args = []) name f =
   | Some t ->
       let span = begin_span t ~cat ~args name in
       Fun.protect ~finally:(fun () -> end_span t span) f
+
+let with_request ?t ~id ?(attrs = []) name f =
+  match resolve t with
+  | None -> f ()
+  | Some t ->
+      let state = Domain.DLS.get dls_key in
+      let saved = state.request in
+      state.request <- Some { req_id = id; req_attrs = attrs };
+      let span = begin_span t ~cat:"request" ~args:attrs name in
+      Fun.protect
+        ~finally:(fun () ->
+          end_span t span;
+          state.request <- saved)
+        f
 
 let add_args ?t args =
   match resolve t with
@@ -170,10 +261,12 @@ let instant ?t ?(cat = "cogent") ?(args = []) name =
   match resolve t with
   | None -> ()
   | Some t ->
+      let args = stamp_request args in
       locked t (fun () ->
           let seq = fresh_seq t in
           t.recorded <-
-            (seq, Instant { name; cat; ts_us = now_us t; args }) :: t.recorded)
+            (seq, Instant { name; cat; ts_us = now_us t; track = track_of t; args })
+            :: t.recorded)
 
 let counter ?t name value =
   match resolve t with
@@ -181,7 +274,9 @@ let counter ?t name value =
   | Some t ->
       locked t (fun () ->
           let seq = fresh_seq t in
-          t.recorded <- (seq, Counter { name; ts_us = now_us t; value }) :: t.recorded)
+          t.recorded <-
+            (seq, Counter { name; ts_us = now_us t; track = track_of t; value })
+            :: t.recorded)
 
 let events t =
   locked t (fun () ->

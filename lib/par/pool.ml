@@ -180,12 +180,11 @@ let mapi ?pool f xs =
         done;
         if !ran > 0 then note_busy !ran (Sys.time () -. t0)
       in
-      let ambient = Trace.installed () in
-      let helper () =
-        match ambient with
-        | None -> participate ()
-        | Some t -> Trace.with_installed t participate
-      in
+      (* Full ambient tracing state — the installed context AND the open
+         request scope — so spans recorded on worker domains land in the
+         submitting domain's sink with the submitting request's id. *)
+      let ambient = Trace.capture () in
+      let helper () = Trace.with_ambient ambient participate in
       let helpers = min (pool.jobs - 1) (n - 1) in
       Mutex.lock pool.lock;
       if not pool.shut then begin

@@ -20,10 +20,12 @@
        (nested fan-outs happen naturally: bench entry -> driver ->
        cost rank).  The claiming caller always helps execute its own
        batch, so nesting cannot deadlock even with zero idle workers.}
-    {- {b Trace propagation}: the caller's ambient {!Tc_obs.Trace}
-       context (domain-local since this PR) is re-installed around items
-       that run on worker domains, so spans recorded inside a parallel
-       section land in the same sink as sequential ones.}}
+    {- {b Trace propagation}: the caller's full ambient {!Tc_obs.Trace}
+       state — the installed context {e and} the open request scope
+       ({!Tc_obs.Trace.with_request}) — is captured at submit time and
+       re-installed around items that run on worker domains, so spans
+       recorded inside a parallel section land in the same sink as
+       sequential ones and stay attributed to the submitting request.}}
 
     Pool activity is observable in {!Tc_obs.Metrics.global}:
     [par.pool.tasks] (items executed), [par.pool.batches] (map calls

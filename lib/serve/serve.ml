@@ -46,7 +46,11 @@ type summary = {
   to_ttgt : int;
 }
 
-type report = { responses : response list; summary : summary }
+type report = {
+  responses : response list;
+  summary : summary;
+  notices : string list;
+}
 
 type session = {
   ctx : Cogent.Ctx.t;
@@ -72,6 +76,23 @@ let close_session s =
   | None -> ()
   | Some dir -> Planstore.save ~dir (Cogent.Cache.entries s.cache)
 
+(* Request ids as they appear everywhere observable: span/flight-recorder
+   attribution and the per-request entries of the JSON report. *)
+let request_label id = Printf.sprintf "req-%03d" id
+
+(* Per-request telemetry instruments.  [predicted_seconds] records model
+   predictions — a pure function of the workload, so its exposition (and
+   quantile summary) is byte-identical across job counts and cold/warm
+   stores; the [_wall_] instruments record wall clock and are excluded
+   from the CI replay gate's deterministic subset by name. *)
+let predicted_hist () = Tc_obs.Metrics.histogram "cogent.serve.predicted_seconds"
+let request_wall_hist () =
+  Tc_obs.Metrics.histogram "cogent.serve.request_wall_seconds"
+let generate_wall_hist () =
+  Tc_obs.Metrics.histogram "cogent.serve.generate_wall_seconds"
+let generation_failures () =
+  Tc_obs.Metrics.counter "cogent.serve.generation_failures"
+
 let run session items =
   Tc_obs.Trace.with_span "serve.batch"
     ~args:[ ("requests", Tc_obs.Trace.Int (List.length items)) ]
@@ -82,12 +103,16 @@ let run session items =
   let before = Cogent.Cache.stats session.cache in
   let default = session.ctx in
   (* Resolve every line to either an error response or a work item; the
-     work item's key is the dedup and dispatch handle. *)
+     work item's key is the dedup and dispatch handle.  Each line is
+     resolved inside its own request scope so the parse step is already
+     attributed to the request in the trace. *)
   let resolved =
     List.map
       (fun item ->
         match item with
         | Error (id, msg) ->
+            Tc_obs.Flightrec.record ~error:("bad request: " ^ msg)
+              (request_label id);
             Error
               {
                 id;
@@ -97,8 +122,16 @@ let run session items =
                 result = Error (Bad_request msg);
               }
         | Ok req -> (
-            match Request.problem req with
+            let rid = request_label req.Request.id in
+            match
+              Tc_obs.Trace.with_request ~id:rid
+                ~attrs:[ ("expr", Tc_obs.Trace.String req.Request.expr) ]
+                "serve.parse"
+                (fun () -> Request.problem req)
+            with
             | Error m ->
+                Tc_obs.Flightrec.record ~expr:req.Request.expr
+                  ~error:("bad request: " ^ m) rid;
                 Error
                   {
                     id = req.Request.id;
@@ -114,50 +147,106 @@ let run session items =
   in
   (* Distinct keys in first-appearance order: the fan-out domain.  The
      order is a pure function of the workload, so [Pool.map] keeps the
-     batch bit-identical at any job count. *)
+     batch bit-identical at any job count.  Each distinct search carries
+     its first requester's id, so the whole generation subtree — prune,
+     cost ranking, refinement, wherever the pool schedules it — stays
+     attributed to that request in the trace. *)
   let seen = Hashtbl.create 16 in
   let distinct =
     List.filter_map
       (function
-        | Ok (_, ctx, problem, k) when not (Hashtbl.mem seen k) ->
+        | Ok (req, ctx, problem, k) when not (Hashtbl.mem seen k) ->
             Hashtbl.add seen k ();
-            Some (k, ctx, problem)
+            Some (k, ctx, problem, request_label req.Request.id)
         | _ -> None)
       resolved
   in
   let warm = Hashtbl.create 16 in
   List.iter
-    (fun (k, _, _) ->
+    (fun (k, _, _, _) ->
       if Cogent.Cache.mem session.cache k then Hashtbl.add warm k ())
     distinct;
   let generated =
     Tc_par.Pool.map
-      (fun (k, ctx, problem) ->
-        match Cogent.Cache.find_or_generate_ctx session.cache ctx problem with
-        | Ok r -> (k, Ok r)
-        | Error e -> (k, Error (Generation e))
-        | exception e -> (k, Error (Crashed (Printexc.to_string e))))
+      (fun (k, ctx, problem, rid) ->
+        Tc_obs.Trace.with_request ~id:rid
+          ~attrs:[ ("key", Tc_obs.Trace.String k) ]
+          "serve.generate"
+        @@ fun () ->
+        let t0 = Sys.time () in
+        let r =
+          match Cogent.Cache.find_or_generate_ctx session.cache ctx problem with
+          | Ok r -> (k, Ok r)
+          | Error e -> (k, Error (Generation e))
+          | exception e -> (k, Error (Crashed (Printexc.to_string e)))
+        in
+        Tc_obs.Metrics.observe (generate_wall_hist ())
+          (Float.max 0.0 (Sys.time () -. t0));
+        r)
       distinct
   in
   let plans = Hashtbl.create 16 in
   List.iter (fun (k, r) -> Hashtbl.replace plans k r) generated;
+  (* Failed searches become stderr-destined notices — assembled here,
+     strictly after the parallel section, and printed by the caller (the
+     DESIGN.md parallel-runtime rule: print only after the fan-out), so
+     the summary can never interleave with pool worker output. *)
+  let notices =
+    List.filter_map
+      (fun (k, r, rid) ->
+        match r with
+        | Ok _ -> None
+        | Error e ->
+            Tc_obs.Metrics.incr (generation_failures ());
+            Tc_obs.Trace.instant "serve.generation_failed"
+              ~args:
+                [
+                  ("request", Tc_obs.Trace.String rid);
+                  ("key", Tc_obs.Trace.String k);
+                ];
+            Some (Printf.sprintf "%s: %s" rid (error_to_string e)))
+      (List.map2 (fun (k, r) (_, _, _, rid) -> (k, r, rid)) generated distinct)
+  in
   (* Dispatch: both predictions are evaluated on the plan's representative
      problem (for a dedup'd request that is the first requester's), so the
-     comparison is apples-to-apples and duplicate requests agree. *)
+     comparison is apples-to-apples and duplicate requests agree.  Each
+     request's dispatch runs inside its request scope: predicted time,
+     chosen strategy and (from the simulated execution) actual time land
+     as span attributes, and one flight-recorder entry is appended. *)
   let responses =
     List.map
       (function
         | Error resp -> resp
         | Ok (req, ctx, _problem, k) ->
+            let rid = request_label req.Request.id in
+            let t0 = Sys.time () in
             let result =
+              Tc_obs.Trace.with_request ~id:rid
+                ~attrs:
+                  [
+                    ("key", Tc_obs.Trace.String k);
+                    ("expr", Tc_obs.Trace.String req.Request.expr);
+                  ]
+                "serve.request"
+              @@ fun () ->
               match Hashtbl.find_opt plans k with
-              | None -> Error (Crashed "internal: generation result missing")
-              | Some (Error e) -> Error e
+              | None ->
+                  Tc_obs.Trace.add_args
+                    [ ("outcome", Tc_obs.Trace.String "error") ];
+                  Error (Crashed "internal: generation result missing")
+              | Some (Error e) ->
+                  Tc_obs.Trace.add_args
+                    [ ("outcome", Tc_obs.Trace.String "error") ];
+                  Error e
               | Some (Ok r) ->
                   let plan = r.Cogent.Driver.plan in
-                  let sim = Tc_sim.Simkernel.run plan in
+                  let sim =
+                    Tc_obs.Trace.with_span "serve.predict.cogent" (fun () ->
+                        Tc_sim.Simkernel.run plan)
+                  in
                   let tt =
-                    Tc_ttgt.Ttgt.run_ctx ctx plan.Cogent.Plan.problem
+                    Tc_obs.Trace.with_span "serve.predict.ttgt" (fun () ->
+                        Tc_ttgt.Ttgt.run_ctx ctx plan.Cogent.Plan.problem)
                   in
                   let cogent_time_s = sim.Tc_sim.Simkernel.time_s in
                   let ttgt_time_s = tt.Tc_ttgt.Ttgt.time_s in
@@ -166,6 +255,37 @@ let run session items =
                       (Cogent_kernel, sim.Tc_sim.Simkernel.gflops)
                     else (Ttgt_pipeline, tt.Tc_ttgt.Ttgt.gflops)
                   in
+                  let predicted_s =
+                    match engine with
+                    | Cogent_kernel -> cogent_time_s
+                    | Ttgt_pipeline -> ttgt_time_s
+                  in
+                  (* The simulated execution of the chosen engine — this
+                     repo's stand-in for running the kernel — so the
+                     span records predicted vs actual per request. *)
+                  let actual_s =
+                    Tc_obs.Trace.with_span "serve.execute"
+                      ~args:
+                        [ ("strategy", Tc_obs.Trace.String (engine_name engine)) ]
+                      (fun () ->
+                        match engine with
+                        | Cogent_kernel ->
+                            (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.time_s
+                        | Ttgt_pipeline ->
+                            (Tc_ttgt.Ttgt.run_ctx ctx plan.Cogent.Plan.problem)
+                              .Tc_ttgt.Ttgt.time_s)
+                  in
+                  Tc_obs.Trace.add_args
+                    [
+                      ("predicted_ms", Tc_obs.Trace.Float (predicted_s *. 1e3));
+                      ("actual_ms", Tc_obs.Trace.Float (actual_s *. 1e3));
+                      ("strategy", Tc_obs.Trace.String (engine_name engine));
+                      ("outcome", Tc_obs.Trace.String "ok");
+                      ("cached", Tc_obs.Trace.Bool (Hashtbl.mem warm k));
+                      ("degraded", Tc_obs.Trace.Bool r.Cogent.Driver.degraded);
+                      ("gflops", Tc_obs.Trace.Float gflops);
+                    ];
+                  Tc_obs.Metrics.observe (predicted_hist ()) predicted_s;
                   Ok
                     {
                       key = k;
@@ -177,6 +297,26 @@ let run session items =
                       gflops;
                     }
             in
+            (match result with
+            | Ok o ->
+                Tc_obs.Flightrec.record ~key:k ~expr:req.Request.expr
+                  ~strategy:(engine_name o.engine)
+                  ~timings:
+                    [
+                      ("predicted_s",
+                       match o.engine with
+                       | Cogent_kernel -> o.cogent_time_s
+                       | Ttgt_pipeline -> o.ttgt_time_s);
+                      ("cogent_s", o.cogent_time_s);
+                      ("ttgt_s", o.ttgt_time_s);
+                      ("wall_s", Float.max 0.0 (Sys.time () -. t0));
+                    ]
+                  rid
+            | Error e ->
+                Tc_obs.Flightrec.record ~key:k ~expr:req.Request.expr
+                  ~error:(error_to_string e) rid);
+            Tc_obs.Metrics.observe (request_wall_hist ())
+              (Float.max 0.0 (Sys.time () -. t0));
             {
               id = req.Request.id;
               expr = req.Request.expr;
@@ -235,7 +375,7 @@ let run session items =
   Tc_obs.Metrics.set
     (Tc_obs.Metrics.gauge "cogent.serve.hit_ratio")
     (if ok > 0 then float_of_int summary.hits /. float_of_int ok else 0.0);
-  { responses; summary }
+  { responses; summary; notices }
 
 let report_doc ~wall_s report =
   {
@@ -246,7 +386,7 @@ let report_doc ~wall_s report =
       List.map
         (fun resp ->
           {
-            Tc_profile.Benchrep.name = Printf.sprintf "req-%03d" resp.id;
+            Tc_profile.Benchrep.name = request_label resp.id;
             expr = (if resp.expr = "" then "-" else resp.expr);
             arch = resp.arch;
             precision = resp.precision;

@@ -60,7 +60,14 @@ type summary = {
   to_ttgt : int;
 }
 
-type report = { responses : response list; summary : summary }
+type report = {
+  responses : response list;
+  summary : summary;
+  notices : string list;
+      (** stderr-destined lines (one per failed plan search), assembled
+          after the parallel section so the caller can print them without
+          interleaving with pool output (DESIGN.md, "Parallel runtime") *)
+}
 
 type session
 
@@ -75,7 +82,19 @@ val run : session -> (Request.t, int * string) result list -> report
 (** Serve one workload (the shape {!Request.load_file} returns); parse
     failures become [Bad_request] responses.  Responses are in request
     order.  Safe to call repeatedly on one session; the cache carries
-    over. *)
+    over.
+
+    Telemetry: every request is served inside a
+    {!Tc_obs.Trace.with_request} scope named [req-NNN], so its parse,
+    plan search (wherever the pool runs it), dispatch and simulated
+    execution form one connected span tree in the Chrome export, with
+    [predicted_ms], [actual_ms] and [strategy] recorded as span
+    attributes.  Per-request latencies land in the
+    [cogent.serve.predicted_seconds] histogram (deterministic — model
+    output observed in request order) and the [cogent.serve.*_wall_*]
+    histograms (wall clock, excluded from the CI deterministic subset by
+    the "wall" naming convention); each request also appends one
+    {!Tc_obs.Flightrec} entry to the global flight recorder. *)
 
 val report_doc : wall_s:float -> report -> Tc_profile.Benchrep.doc
 (** The [--json] report: a cogent-bench/1 document (target ["serve"]) with

@@ -145,6 +145,59 @@ let test_metrics_snapshot_deterministic () =
   check Alcotest.int "registrations survive reset" 3
     (List.length (Metrics.snapshot reg))
 
+(* Quantile estimation: known bucket counts give known interpolated
+   values (Prometheus histogram_quantile semantics). *)
+let test_quantiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~buckets:[ 1.0; 2.0; 4.0 ] "lat" in
+  List.iter (Metrics.observe h)
+    [ 0.5; 0.5; 1.5; 1.5; 1.5; 1.5; 3.0; 3.0; 3.0; 3.0 ];
+  (* cumulative buckets: le=1 -> 2, le=2 -> 6, le=4 -> 10, +Inf -> 10 *)
+  let item = List.hd (Metrics.snapshot reg) in
+  let q p = Option.get (Metrics.quantile item p) in
+  check (Alcotest.float 1e-9) "p50 interpolates inside (1,2]" 1.75 (q 0.5);
+  check (Alcotest.float 1e-9) "p90 interpolates inside (2,4]" 3.5 (q 0.9);
+  check (Alcotest.float 1e-9) "p0 is the floor" 0.0 (q 0.0);
+  check (Alcotest.float 1e-9) "p100 is the top finite bound" 4.0 (q 1.0);
+  check Alcotest.int "summary has the standard points" 3
+    (List.length (Metrics.quantile_summary item));
+  (* an observation beyond every finite bucket clamps to the highest
+     finite bound *)
+  Metrics.observe h 100.0;
+  let item = List.hd (Metrics.snapshot reg) in
+  check (Alcotest.float 1e-9) "overflow bucket clamps" 4.0
+    (Option.get (Metrics.quantile item 0.99));
+  check Alcotest.bool "non-histograms have no quantile" true
+    (Metrics.quantile (Metrics.Counter_v { name = "c"; value = 1.0 }) 0.5
+    = None);
+  check Alcotest.bool "empty histograms have no quantile" true
+    (Metrics.quantile
+       (Metrics.Histogram_v
+          { name = "h"; count = 0; sum = 0.0; buckets = [ (infinity, 0) ] })
+       0.5
+    = None)
+
+(* Prometheus exposition: exact bytes, including name sanitization and
+   the implicit +Inf bucket. *)
+let test_prometheus_exposition () =
+  let reg = Metrics.create () in
+  Metrics.incr ~by:5 (Metrics.counter ~registry:reg "serve.requests");
+  Metrics.set (Metrics.gauge ~registry:reg "serve.hit_ratio") 0.25;
+  let h = Metrics.histogram ~registry:reg ~buckets:[ 1.0; 2.0 ] "1lat-ms" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 1.5;
+  check Alcotest.string "text exposition"
+    ("# TYPE _1lat_ms histogram\n"
+   ^ "_1lat_ms_bucket{le=\"1\"} 1\n"
+   ^ "_1lat_ms_bucket{le=\"2\"} 2\n"
+   ^ "_1lat_ms_bucket{le=\"+Inf\"} 2\n"
+   ^ "_1lat_ms_sum 2\n" ^ "_1lat_ms_count 2\n"
+   ^ "# TYPE serve_hit_ratio gauge\n"
+   ^ "serve_hit_ratio 0.25\n"
+   ^ "# TYPE serve_requests counter\n"
+   ^ "serve_requests 5\n")
+    (Metrics.to_prometheus (Metrics.snapshot reg))
+
 (* Counter determinism across repeated pipeline runs: the same generated
    problem pruned twice yields byte-identical metric deltas. *)
 let metrics_deterministic_on_generated =
@@ -163,6 +216,102 @@ let metrics_deterministic_on_generated =
       let a = run () in
       let b = run () in
       a = b)
+
+(* ---- Flight recorder ---- *)
+
+let test_flightrec_ring () =
+  let r = Flightrec.create ~capacity:3 () in
+  check Alcotest.int "capacity" 3 (Flightrec.capacity r);
+  for i = 0 to 4 do
+    Flightrec.record ~recorder:r (Printf.sprintf "req-%03d" i)
+  done;
+  check Alcotest.int "recorded counts everything" 5 (Flightrec.recorded r);
+  let es = Flightrec.entries r in
+  check (Alcotest.list Alcotest.int) "retained suffix, oldest first" [ 2; 3; 4 ]
+    (List.map (fun e -> e.Flightrec.seq) es);
+  check (Alcotest.list Alcotest.string) "ids survive eviction"
+    [ "req-002"; "req-003"; "req-004" ]
+    (List.map (fun e -> e.Flightrec.request) es);
+  Flightrec.clear r;
+  check Alcotest.int "clear empties the ring" 0
+    (List.length (Flightrec.entries r))
+
+let test_flightrec_dump () =
+  let r = Flightrec.create ~capacity:8 () in
+  Flightrec.record ~recorder:r ~key:"k1" ~expr:"ab-ac-cb" ~strategy:"cogent"
+    ~timings:[ ("predicted_s", 0.5); ("wall_s", 0.25) ]
+    "req-000";
+  Flightrec.record ~recorder:r ~error:"generation failed" "req-001";
+  let path = Filename.temp_file "cogent_flight" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Flightrec.dump ~path r;
+  let ic = open_in path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let lines =
+    String.split_on_char '\n' body |> List.filter (fun l -> l <> "")
+  in
+  check Alcotest.int "one line per entry" 2 (List.length lines);
+  match List.map Json.parse lines with
+  | [ Ok a; Ok b ] ->
+      check Alcotest.bool "dispatched entry has a strategy, no error" true
+        (Json.member "strategy" a = Some (Json.String "cogent")
+        && Json.member "error" a = None
+        && Json.member "timings" a <> None);
+      check Alcotest.bool "failed entry has an error, no strategy" true
+        (Json.member "error" b = Some (Json.String "generation failed")
+        && Json.member "strategy" b = None)
+  | _ -> fail "flight dump lines do not parse"
+
+(* ---- Request scopes and tracks ---- *)
+
+let test_request_scope () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  Trace.with_installed t (fun () ->
+      check
+        (Alcotest.option Alcotest.string)
+        "no request outside a scope" None
+        (Trace.current_request ());
+      Trace.with_request ~id:"req-007"
+        ~attrs:[ ("expr", Trace.String "ab-ac-cb") ]
+        "serve.request"
+        (fun () ->
+          check
+            (Alcotest.option Alcotest.string)
+            "current request id" (Some "req-007") (Trace.current_request ());
+          Trace.with_span "inner" (fun () -> ());
+          Trace.instant "ping");
+      check
+        (Alcotest.option Alcotest.string)
+        "scope restored" None (Trace.current_request ()));
+  let evs = Trace.events t in
+  check Alcotest.int "three events" 3 (List.length evs);
+  check Alcotest.bool "every event is request-stamped" true
+    (List.for_all
+       (fun ev ->
+         List.assoc_opt "request" (Trace.event_args ev)
+         = Some (Trace.String "req-007"))
+       evs)
+
+let test_worker_tracks () =
+  (* Tracks are assigned in first-record order, so the main domain gets
+     track 0 and the (later-recording) worker gets track 1 — regardless
+     of Domain.self numbering. *)
+  let t = Trace.make ~clock:(ticker ()) () in
+  Trace.with_installed t (fun () ->
+      Trace.with_span "main-span" (fun () -> ());
+      let amb = Trace.capture () in
+      Domain.join
+        (Domain.spawn (fun () ->
+             Trace.with_ambient amb (fun () ->
+                 Trace.with_span "worker-span" (fun () -> ())))));
+  match Trace.events t with
+  | [
+   Trace.Span { name = "main-span"; track = 0; _ };
+   Trace.Span { name = "worker-span"; track = 1; _ };
+  ] ->
+      ()
+  | _ -> fail "expected spans on tracks 0 and 1"
 
 (* ---- Exporters ---- *)
 
@@ -197,7 +346,8 @@ let test_chrome_schema () =
   | Ok j -> (
       match Json.member "traceEvents" j with
       | Some (Json.List evs) ->
-          check Alcotest.int "all events exported" 4 (List.length evs);
+          (* 4 sample events + 1 thread_name metadata record (one track). *)
+          check Alcotest.int "all events exported" 5 (List.length evs);
           let phases =
             List.map
               (fun ev ->
@@ -238,6 +388,38 @@ let test_text_export () =
          in
          go 0))
     [ "root"; "child"; "ping"; "load" ]
+
+(* One request fanned across two domains: the Chrome export must name
+   both thread rows and connect the request's spans with flow events. *)
+let test_chrome_flows_and_threads () =
+  let t = Trace.make ~clock:(ticker ()) () in
+  Trace.with_installed t (fun () ->
+      Trace.with_request ~id:"req-001" "serve.request" (fun () ->
+          let amb = Trace.capture () in
+          Domain.join
+            (Domain.spawn (fun () ->
+                 Trace.with_ambient amb (fun () ->
+                     Trace.with_span "worker.item" (fun () -> ()))))));
+  match Json.parse (Export.to_chrome (Trace.events t)) with
+  | Error e -> fail ("chrome export does not parse: " ^ e)
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          let ph p ev = Json.member "ph" ev = Some (Json.String p) in
+          check Alcotest.int "one thread_name record per track" 2
+            (List.length (List.filter (ph "M") evs));
+          let tids =
+            List.filter (ph "X") evs
+            |> List.filter_map (Json.member "tid")
+            |> List.sort_uniq compare
+          in
+          check Alcotest.int "spans sit on two distinct threads" 2
+            (List.length tids);
+          check Alcotest.int "one flow start" 1
+            (List.length (List.filter (ph "s") evs));
+          check Alcotest.int "one flow finish" 1
+            (List.length (List.filter (ph "f") evs))
+      | _ -> fail "no traceEvents array")
 
 (* ---- Json parser round-trip ---- *)
 
@@ -340,18 +522,34 @@ let () =
           Alcotest.test_case "pay for use" `Quick test_pay_for_use;
           Alcotest.test_case "with_installed restores" `Quick
             test_with_installed_restores;
+          Alcotest.test_case "request scope stamps events" `Quick
+            test_request_scope;
+          Alcotest.test_case "worker domains get their own tracks" `Quick
+            test_worker_tracks;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "snapshot deterministic" `Quick
             test_metrics_snapshot_deterministic;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
           Gen.to_alcotest metrics_deterministic_on_generated;
+        ] );
+      ( "flightrec",
+        [
+          Alcotest.test_case "ring retains the newest entries" `Quick
+            test_flightrec_ring;
+          Alcotest.test_case "dump is well-formed JSONL" `Quick
+            test_flightrec_dump;
         ] );
       ( "export",
         [
           Alcotest.test_case "jsonl well-formed" `Quick test_jsonl_well_formed;
           Alcotest.test_case "chrome schema" `Quick test_chrome_schema;
+          Alcotest.test_case "chrome flows and thread names" `Quick
+            test_chrome_flows_and_threads;
           Alcotest.test_case "text export" `Quick test_text_export;
           Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
         ] );

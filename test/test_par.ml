@@ -121,6 +121,33 @@ let test_trace_propagation () =
   check Alcotest.bool "nothing leaks to the ambient context after" true
     (Tc_obs.Trace.installed () = None)
 
+(* The ambient request scope travels with the ambient context: spans
+   recorded by pool items stay attributed to the submitting request. *)
+let test_request_propagation () =
+  with_pool 4 @@ fun p ->
+  let t = Tc_obs.Trace.make () in
+  Tc_obs.Trace.with_installed t (fun () ->
+      Tc_obs.Trace.with_request ~id:"req-042" "serve.generate" (fun () ->
+          ignore
+            (Pool.map ~pool:p
+               (fun i -> Tc_obs.Trace.with_span "par.item" (fun () -> i))
+               [ 1; 2; 3; 4; 5 ])));
+  let stamps =
+    List.filter_map
+      (function
+        | Tc_obs.Trace.Span { name = "par.item"; args; _ } ->
+            Some (List.assoc_opt "request" args)
+        | _ -> None)
+      (Tc_obs.Trace.events t)
+  in
+  check Alcotest.int "five item spans" 5 (List.length stamps);
+  check Alcotest.bool "every item span is stamped with the request" true
+    (List.for_all (fun s -> s = Some (Tc_obs.Trace.String "req-042")) stamps);
+  check
+    (Alcotest.option Alcotest.string)
+    "request scope does not leak" None
+    (Tc_obs.Trace.current_request ())
+
 (* ---- properties under the shared fixed seed ---- *)
 
 let map_matches_sequential =
@@ -157,6 +184,42 @@ let driver_deterministic_across_jobs =
            (fun (m, cost) (m', cost') ->
              Cogent.Mapping.compare m m' = 0 && Float.equal cost cost')
            r1.Cogent.Driver.ranked r4.Cogent.Driver.ranked)
+
+(* Histogram exposition and quantile summaries must not depend on how
+   observations interleave across pool domains.  Bucket counts are
+   order-independent increments; the observed values are dyadic
+   rationals (multiples of 1/8, derived from the generated problem's
+   extents), so even the floating-point [sum] is exact and therefore
+   associative — the same guarantee the serving layer gets by observing
+   its deterministic histograms sequentially. *)
+let histogram_exposition_jobs_invariant =
+  QCheck.Test.make ~count:25
+    ~name:"histogram exposition + quantiles identical at jobs 1 vs 4"
+    Gen.case_arbitrary
+    (fun c ->
+      let problem = c.Gen.problem in
+      let info = Tc_expr.Problem.info problem in
+      let obs =
+        List.concat_map
+          (fun i ->
+            let e = Tc_expr.Problem.extent problem i in
+            [ float_of_int (e land 63) *. 0.125; 0.25 ])
+          (Tc_expr.Classify.all_indices info)
+      in
+      let run jobs =
+        with_pool jobs (fun p ->
+            let reg = Tc_obs.Metrics.create () in
+            let h =
+              Tc_obs.Metrics.histogram ~registry:reg
+                ~buckets:[ 0.5; 1.0; 2.0; 4.0 ] "par.lat"
+            in
+            ignore
+              (Pool.map ~pool:p (fun v -> Tc_obs.Metrics.observe h v) obs);
+            let snap = Tc_obs.Metrics.snapshot reg in
+            ( Tc_obs.Metrics.to_prometheus snap,
+              List.concat_map Tc_obs.Metrics.quantile_summary snap ))
+      in
+      run 1 = run 4)
 
 (* ---- plan-cache single-flight: racing domains must not duplicate a
    generation, and the latched callers must count as hits ---- *)
@@ -256,11 +319,14 @@ let () =
             test_fold_best;
           Alcotest.test_case "trace spans cross domains" `Quick
             test_trace_propagation;
+          Alcotest.test_case "request scope crosses domains" `Quick
+            test_request_propagation;
           Gen.to_alcotest map_matches_sequential;
         ] );
       ( "determinism",
         [
           Gen.to_alcotest driver_deterministic_across_jobs;
+          Gen.to_alcotest histogram_exposition_jobs_invariant;
           Alcotest.test_case "autotuner jobs 1 vs 4" `Quick
             test_autotune_deterministic_across_jobs;
         ] );

@@ -240,6 +240,117 @@ let test_warm_restart_regenerates_nothing () =
        (Tc_serve.Serve.report_doc ~wall_s:0.0 r_cold)
        (Tc_serve.Serve.report_doc ~wall_s:0.0 r_warm))
 
+(* ---- telemetry ---- *)
+
+let contains s needle =
+  let ln = String.length needle and ls = String.length s in
+  let rec go i = i + ln <= ls && (String.sub s i ln = needle || go (i + 1)) in
+  go 0
+
+(* Regression for `cogent serve --trace FILE` losing pool-side spans:
+   with a trace installed in the caller and the default pool at jobs 4,
+   the plan searches run on worker domains — their spans must still land
+   in the installed context, request-stamped, and every dispatched
+   request must carry predicted/actual/strategy attributes. *)
+let test_serve_trace_regression () =
+  Tc_par.Pool.set_default_jobs 4;
+  Fun.protect ~finally:(fun () -> Tc_par.Pool.set_default_jobs 1) @@ fun () ->
+  let t = Tc_obs.Trace.make () in
+  let s = open_session ctx in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Ok (req 2 "abc-bda-dc" [ ('a', 32); ('b', 32); ('c', 32); ('d', 32) ]);
+    ]
+  in
+  let report =
+    Tc_obs.Trace.with_installed t (fun () -> Tc_serve.Serve.run s items)
+  in
+  check Alcotest.int "no errors" 0
+    report.Tc_serve.Serve.summary.Tc_serve.Serve.errors;
+  let spans name =
+    List.filter
+      (function
+        | Tc_obs.Trace.Span { name = n; _ } -> n = name | _ -> false)
+      (Tc_obs.Trace.events t)
+  in
+  check Alcotest.bool "pool-side generation spans reached the trace" true
+    (List.length (spans "driver.generate") >= 2);
+  List.iter
+    (fun ev ->
+      match List.assoc_opt "request" (Tc_obs.Trace.event_args ev) with
+      | Some (Tc_obs.Trace.String id) ->
+          check Alcotest.bool "stamped with a req-NNN id" true
+            (contains id "req-")
+      | _ -> fail "generation span not request-stamped")
+    (spans "serve.generate");
+  let dispatches = spans "serve.request" in
+  check Alcotest.int "one dispatch span per request" 2 (List.length dispatches);
+  List.iter
+    (fun ev ->
+      let args = Tc_obs.Trace.event_args ev in
+      List.iter
+        (fun k ->
+          check Alcotest.bool (Printf.sprintf "dispatch span has %s" k) true
+            (List.mem_assoc k args))
+        [ "request"; "predicted_ms"; "actual_ms"; "strategy"; "outcome" ])
+    dispatches;
+  (* the whole batch exports as valid Chrome JSON with request flows *)
+  match Tc_obs.Json.parse (Tc_obs.Export.to_chrome (Tc_obs.Trace.events t)) with
+  | Ok _ -> ()
+  | Error e -> fail ("serve trace not valid chrome JSON: " ^ e)
+
+(* Failed searches surface as buffered notices (printed by the CLI after
+   the parallel section), never as mid-batch prints. *)
+let test_notices_buffered () =
+  let boom = Cogent.Ctx.make ~measure:(fun _ -> failwith "boom") () in
+  let s = open_session boom in
+  let report =
+    Tc_serve.Serve.run s
+      [ Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]) ]
+  in
+  check Alcotest.int "one notice per failed search" 1
+    (List.length report.Tc_serve.Serve.notices);
+  check Alcotest.bool "notice names the request" true
+    (contains (List.hd report.Tc_serve.Serve.notices) "req-001");
+  let ok = open_session ctx in
+  let clean =
+    Tc_serve.Serve.run ok
+      [ Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]) ]
+  in
+  check Alcotest.int "clean batches have no notices" 0
+    (List.length clean.Tc_serve.Serve.notices)
+
+(* Every request — dispatched, malformed, failed — leaves exactly one
+   flight-recorder entry. *)
+let test_flight_recorder_entries () =
+  Tc_obs.Flightrec.clear Tc_obs.Flightrec.global;
+  let s = open_session ctx in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Error (2, "bad JSON: oops");
+      Ok (req 3 "not a contraction" [ ('a', 4) ]);
+    ]
+  in
+  ignore (Tc_serve.Serve.run s items);
+  let es = Tc_obs.Flightrec.entries Tc_obs.Flightrec.global in
+  check (Alcotest.list Alcotest.string) "one entry per request, in order"
+    [ "req-002"; "req-003"; "req-001" ]
+    (List.map (fun e -> e.Tc_obs.Flightrec.request) es);
+  (match es with
+  | [ bad_json; bad_expr; dispatched ] ->
+      check Alcotest.bool "malformed line records its error" true
+        (bad_json.Tc_obs.Flightrec.error <> None);
+      check Alcotest.bool "unparsable expr records its error" true
+        (bad_expr.Tc_obs.Flightrec.error <> None);
+      check Alcotest.bool "dispatched request records its strategy" true
+        (dispatched.Tc_obs.Flightrec.strategy <> None);
+      check Alcotest.bool "dispatched request records timings" true
+        (List.mem_assoc "predicted_s" dispatched.Tc_obs.Flightrec.timings)
+  | _ -> fail "expected three entries");
+  Tc_obs.Flightrec.clear Tc_obs.Flightrec.global
+
 (* ---- request parsing ---- *)
 
 let test_request_parsing () =
@@ -290,5 +401,14 @@ let () =
           Alcotest.test_case "warm restart regenerates nothing" `Quick
             test_warm_restart_regenerates_nothing;
           Alcotest.test_case "request parsing" `Quick test_request_parsing;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "pool-side spans land in the installed trace"
+            `Quick test_serve_trace_regression;
+          Alcotest.test_case "failure notices are buffered" `Quick
+            test_notices_buffered;
+          Alcotest.test_case "flight recorder: one entry per request" `Quick
+            test_flight_recorder_entries;
         ] );
     ]
