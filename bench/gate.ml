@@ -56,8 +56,11 @@ let diff baseline_path =
 
 (* Micro-benchmark timings are machine-dependent; keep them out of the
    baseline so the gate only ever judges deterministic simulator and
-   search-space quantities. *)
-let baseline_excluded = [ "micro" ]
+   search-space quantities.  The accuracy target has its own drift gate
+   with per-metric audit tolerances (`cogent audit --diff
+   bench/ACCURACY_BASELINE.json`); the default tolerances here would
+   silently skip its metrics. *)
+let baseline_excluded = [ "micro"; "accuracy" ]
 
 let baseline ~targets out =
   let docs =

@@ -3,7 +3,7 @@
    With no argument, regenerates every figure of the paper plus the pruning
    statistics and the code-generation micro-benchmarks.  Individual targets:
 
-     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|serve|micro
+     dune exec bench/main.exe -- fig4|fig5|fig6|fig7|fig8|prunestats|ablation|serve|accuracy|micro
 
    Each target also writes a machine-readable BENCH_<target>.json report
    (schema cogent-bench/1, see Tc_profile.Benchrep).  Two extra
@@ -30,6 +30,7 @@ let targets =
     ("prunestats", Figures.prunestats);
     ("ablation", Ablation.run);
     ("serve", Serve_bench.run);
+    ("accuracy", Accuracy.run);
     ("micro", Micro.run);
   ]
 

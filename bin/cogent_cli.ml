@@ -16,7 +16,12 @@
      serve    run a JSONL workload of contraction requests through the
               batched serving engine (dedup, parallel plan search, model
               dispatch to the COGENT kernel or the TTGT pipeline, optional
-              on-disk plan store for warm restarts)
+              on-disk plan store for warm restarts; --audit-ledger DIR also
+              records one cost-model accuracy sample per request)
+     audit    aggregate a cogent-audit/1 ledger into the calibration
+              report: model-error quantiles, dispatch mix, regret account
+              (--diff BASELINE.json is the CI drift gate: exit 1 when
+              calibration drifts past the per-metric tolerances)
      suite    list the TCCG benchmark entries
 
    The generation subcommands share one configuration surface (a
@@ -472,7 +477,7 @@ let bench_cmd =
 
 let serve_cmd =
   let run trace metrics jobs requests store arch precision budget json
-      flight_dump =
+      flight_dump audit_ledger flight_size =
     harness ?jobs ?metrics trace @@ fun () ->
     let t0 = Sys.time () in
     let ctx = mk_ctx ?jobs arch precision budget in
@@ -482,12 +487,25 @@ let serve_cmd =
       | None -> or_die (Error "missing --requests FILE")
     in
     let items = or_die (Tc_serve.Request.load_file ~default:ctx requests) in
-    let session = or_die (Tc_serve.Serve.open_session ?store ctx) in
+    let audit = Option.map (fun _ -> Tc_audit.Audit.collector ()) audit_ledger in
+    let session =
+      or_die
+        (Tc_serve.Serve.open_session ?store ?audit
+           ?flight_capacity:flight_size ctx)
+    in
     let report =
       Fun.protect
         ~finally:(fun () -> Tc_serve.Serve.close_session session)
         (fun () -> Tc_serve.Serve.run session items)
     in
+    (match (audit_ledger, audit) with
+    | Some dir, Some c ->
+        let samples = Tc_audit.Audit.samples c in
+        Tc_audit.Ledger.save ~dir samples;
+        Printf.eprintf "cogent: wrote audit ledger (%d samples) to %s\n%!"
+          (List.length samples)
+          (Tc_audit.Ledger.file ~dir)
+    | _ -> ());
     if json then
       print_endline
         (Tc_obs.Json.to_string_pretty
@@ -559,13 +577,82 @@ let serve_cmd =
                  timings) — to $(docv) as JSONL.  The post-mortem record \
                  for batches with Generation/Crashed errors.")
   in
+  let audit_ledger =
+    Arg.(value & opt (some string) None & info [ "audit-ledger" ] ~docv:"DIR"
+           ~doc:"Attach the cost-model accuracy collector and write the \
+                 batch's samples to $(docv)/audit.jsonl (cogent-audit/1): \
+                 per request, the Algorithm-3 transaction estimate vs the \
+                 interpreter-measured ground truth, both engines' \
+                 predicted times, and the dispatch regret.  Aggregate with \
+                 the audit subcommand.  The ledger is deterministic: \
+                 byte-identical at any --jobs and across cold/warm stores.")
+  in
+  let flight_size =
+    Arg.(value & opt (some int) None & info [ "flight-size" ] ~docv:"N"
+           ~doc:"Resize the flight-recorder ring to the last $(docv) \
+                 requests (default 128).")
+  in
   Cmd.v
     (Cmd.info "serve" ~version
        ~doc:"Serve a batched workload of contraction requests: dedup by \
              plan key, search in parallel, dispatch each request to the \
              COGENT kernel or the TTGT pipeline by predicted time")
     Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ requests $ store
-          $ arch_arg $ precision_arg $ budget_arg $ json $ flight_dump)
+          $ arch_arg $ precision_arg $ budget_arg $ json $ flight_dump
+          $ audit_ledger $ flight_size)
+
+(* ---- audit ---- *)
+
+let audit_cmd =
+  let run metrics jobs ledger json diff =
+    harness ?jobs ?metrics None @@ fun () ->
+    let samples = or_die (Tc_audit.Ledger.load ~dir:ledger) in
+    match diff with
+    | Some baseline_path ->
+        (* The CI drift gate: compare this ledger's aggregation against a
+           checked-in cogent-bench/1 baseline under the audit tolerances
+           (counts and pred_ms_sum exact; error quantiles Lower_better). *)
+        let baseline = or_die (Tc_profile.Benchrep.read ~path:baseline_path) in
+        let deltas =
+          Tc_profile.Benchrep.diff ~tolerances:Tc_audit.Audit.tolerances
+            ~baseline (Tc_audit.Audit.doc samples)
+        in
+        print_string (Tc_profile.Benchrep.render_diff ~target:"audit" deltas);
+        if Tc_profile.Benchrep.regressions deltas <> [] then exit 1
+    | None ->
+        if json then
+          (* wall_s/jobs stay 0: the JSON document is a pure function of
+             the ledger, byte-identical across job counts and replays. *)
+          print_endline
+            (Tc_obs.Json.to_string_pretty
+               (Tc_profile.Benchrep.to_json (Tc_audit.Audit.doc samples)))
+        else print_string (Tc_audit.Audit.render samples)
+  in
+  let ledger =
+    Arg.(value & opt string "audit-ledger" & info [ "ledger" ] ~docv:"DIR"
+           ~doc:"The cogent-audit/1 ledger directory to aggregate (as \
+                 written by serve --audit-ledger or the accuracy bench \
+                 target).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the aggregation as a cogent-bench/1 document (target \
+                 audit) instead of the human-readable calibration report.  \
+                 A pure function of the ledger: byte-identical at any job \
+                 count.")
+  in
+  let diff =
+    Arg.(value & opt (some string) None & info [ "diff" ] ~docv:"BASELINE"
+           ~doc:"Drift gate: diff this ledger's aggregation against the \
+                 cogent-bench/1 document $(docv) under the audit \
+                 tolerances and exit 1 on any regression (calibration \
+                 error drift, dispatch flip, new regret).")
+  in
+  Cmd.v
+    (Cmd.info "audit" ~version
+       ~doc:"Aggregate a cost-model accuracy ledger: error quantiles, \
+             dispatch mix, regret account, CI drift gate")
+    Term.(const run $ metrics_arg $ jobs_arg $ ledger $ json $ diff)
 
 (* ---- triples ---- *)
 
@@ -629,7 +716,7 @@ let main =
   Cmd.group (Cmd.info "cogent" ~version ~doc)
     [
       gen_cmd; plan_cmd; explain_cmd; profile_cmd; bench_cmd; serve_cmd;
-      triples_cmd; suite_cmd;
+      audit_cmd; triples_cmd; suite_cmd;
     ]
 
 let () = exit (Cmd.eval main)

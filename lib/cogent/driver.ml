@@ -115,7 +115,18 @@ let generate_one (ctx : Ctx.t) problem =
         [
           ("kept", Trace.Int prune_stats.Prune.kept);
           ("selected_cost", Trace.Float plan.Plan.cost);
+          ("degraded", Trace.Bool degraded);
         ];
+      (* The accuracy observatory's driver-side hook: every selected
+         plan's model cost lands in a histogram, so a ledger-less run
+         still exposes the predicted-cost distribution.  Bucket counts
+         are deterministic; the _sum series is a float reduction in pool
+         order, so the instrument stays out of the CI replay gate's
+         deterministic subset (which greps cogent_serve_/cogent_audit_
+         only). *)
+      Metrics.observe
+        (Metrics.histogram "cogent.driver.selected_cost")
+        plan.Plan.cost;
       Ok
         {
           plan;

@@ -227,6 +227,12 @@ let entry_of_json j =
 let corrupt_rows () =
   Tc_obs.Metrics.counter "cogent.serve.planstore.corrupt_rows"
 
+(* Last offending 1-based line number — the [line] attribute of the
+   corrupt-row telemetry, so a truncated store is diagnosable from the
+   metrics snapshot alone (the stderr notice carries the same number). *)
+let corrupt_line () =
+  Tc_obs.Metrics.gauge "cogent.serve.planstore.corrupt_line"
+
 let row_of_line line =
   let* j =
     Result.map_error (fun m -> "bad JSON: " ^ m) (J.parse line)
@@ -258,16 +264,23 @@ let load ~dir =
         | Ok (J.Obj _ as h) when J.member "schema" h = Some (J.String schema)
           ->
             Ok
-              (List.filter_map
-                 (fun line ->
-                   if String.trim line = "" then None
-                   else
-                     match row_of_line line with
-                     | Ok row -> Some row
-                     | Error _ ->
-                         Tc_obs.Metrics.incr (corrupt_rows ());
-                         None)
-                 rows)
+              (* [i] counts data rows; the header is file line 1. *)
+              (List.mapi (fun i line -> (i + 2, line)) rows
+              |> List.filter_map (fun (lineno, line) ->
+                     if String.trim line = "" then None
+                     else
+                       match row_of_line line with
+                       | Ok row -> Some row
+                       | Error m ->
+                           Tc_obs.Metrics.incr (corrupt_rows ());
+                           Tc_obs.Metrics.set (corrupt_line ())
+                             (float_of_int lineno);
+                           Printf.eprintf
+                             "cogent: %s:%d: skipping corrupt plan-store \
+                              row (%s)\n\
+                              %!"
+                             path lineno m;
+                           None))
         | _ ->
             Error
               (Printf.sprintf "%s: not a %s store (bad schema header)" path

@@ -44,6 +44,7 @@ type summary = {
   errors : int;
   to_cogent : int;
   to_ttgt : int;
+  regrets : int;
 }
 
 type report = {
@@ -57,19 +58,21 @@ type session = {
   cache : Cogent.Cache.t;
   store : string option;
   loaded : int;
+  audit : Tc_audit.Audit.collector option;
 }
 
-let open_session ?store ctx =
+let open_session ?store ?audit ?flight_capacity ctx =
   Cogent.Ctx.install_jobs ctx;
+  Option.iter (fun n -> Tc_obs.Flightrec.set_capacity n) flight_capacity;
   let cache = Cogent.Cache.create () in
   match store with
-  | None -> Ok { ctx; cache; store; loaded = 0 }
+  | None -> Ok { ctx; cache; store; loaded = 0; audit }
   | Some dir -> (
       match Planstore.load ~dir with
       | Error m -> Error m
       | Ok rows ->
           List.iter (fun (k, r) -> Cogent.Cache.install cache k r) rows;
-          Ok { ctx; cache; store; loaded = List.length rows })
+          Ok { ctx; cache; store; loaded = List.length rows; audit })
 
 let close_session s =
   match s.store with
@@ -180,11 +183,31 @@ let run session items =
           | Error e -> (k, Error (Generation e))
           | exception e -> (k, Error (Crashed (Printexc.to_string e)))
         in
+        (* The accuracy observatory's ground truth — the interpreter's
+           counter-only schedule replay — is the expensive part of a
+           sample, so it runs here, once per distinct key, wherever the
+           pool scheduled this search (the result is a pure function of
+           the plan, so batch output stays bit-identical at any job
+           count). *)
+        let measured =
+          match (session.audit, r) with
+          | Some _, (_, Ok d) ->
+              Some
+                (Tc_obs.Trace.with_span "audit.measure" (fun () ->
+                     Cogent.Interp.measure d.Cogent.Driver.plan))
+          | _ -> None
+        in
         Tc_obs.Metrics.observe (generate_wall_hist ())
           (Float.max 0.0 (Sys.time () -. t0));
-        r)
+        (r, measured))
       distinct
   in
+  let measures = Hashtbl.create 16 in
+  List.iter
+    (fun ((k, _), measured) ->
+      Option.iter (fun c -> Hashtbl.replace measures k c) measured)
+    generated;
+  let generated = List.map fst generated in
   let plans = Hashtbl.create 16 in
   List.iter (fun (k, r) -> Hashtbl.replace plans k r) generated;
   (* Failed searches become stderr-destined notices — assembled here,
@@ -213,14 +236,20 @@ let run session items =
      request's dispatch runs inside its request scope: predicted time,
      chosen strategy and (from the simulated execution) actual time land
      as span attributes, and one flight-recorder entry is appended. *)
+  (* Requests with positive dispatch regret, counted as the (sequential)
+     dispatch loop below walks the batch in request order. *)
+  let regrets = ref 0 in
   let responses =
     List.map
       (function
         | Error resp -> resp
-        | Ok (req, ctx, _problem, k) ->
+        | Ok (req, ctx, problem, k) ->
             let rid = request_label req.Request.id in
             let t0 = Sys.time () in
-            let result =
+            (* [result_r] pairs the public outcome with the request's
+               dispatch regret (not part of the report_doc surface — it
+               lands on the span, the flight entry and the audit ledger). *)
+            let result_r =
               Tc_obs.Trace.with_request ~id:rid
                 ~attrs:
                   [
@@ -275,10 +304,41 @@ let run session items =
                             (Tc_ttgt.Ttgt.run_ctx ctx plan.Cogent.Plan.problem)
                               .Tc_ttgt.Ttgt.time_s)
                   in
+                  (* Dispatch regret: the decision above compared the
+                     engines on the representative problem; the request
+                     runs at its own extents, so re-evaluate both sides
+                     there and charge the chosen engine whatever it loses
+                     to the alternative.  Pure model output computed
+                     sequentially in request order — the audit metrics
+                     below are part of the CI replay gate's deterministic
+                     subset. *)
+                  let _own_cogent_s, _own_ttgt_s, regret_s, _own_approx =
+                    Tc_audit.Audit.dispatch_regret ~ctx ~own:problem plan
+                  in
+                  Tc_audit.Audit.record_regret regret_s;
+                  if regret_s > 0.0 then incr regrets;
+                  (match session.audit with
+                  | None -> ()
+                  | Some c ->
+                      let s =
+                        Tc_audit.Audit.sample ~suite:"serve" ~request:rid
+                          ~key:k ~ctx ~own:problem
+                          ?measured:(Hashtbl.find_opt measures k)
+                          ~degraded:r.Cogent.Driver.degraded plan
+                      in
+                      Tc_audit.Audit.add c s;
+                      Tc_audit.Audit.record_sample s;
+                      Tc_obs.Trace.add_args
+                        [
+                          ( "model_tx_rel_err",
+                            Tc_obs.Trace.Float (Tc_audit.Audit.tx_rel_err s)
+                          );
+                        ]);
                   Tc_obs.Trace.add_args
                     [
                       ("predicted_ms", Tc_obs.Trace.Float (predicted_s *. 1e3));
                       ("actual_ms", Tc_obs.Trace.Float (actual_s *. 1e3));
+                      ("regret_ms", Tc_obs.Trace.Float (regret_s *. 1e3));
                       ("strategy", Tc_obs.Trace.String (engine_name engine));
                       ("outcome", Tc_obs.Trace.String "ok");
                       ("cached", Tc_obs.Trace.Bool (Hashtbl.mem warm k));
@@ -287,18 +347,20 @@ let run session items =
                     ];
                   Tc_obs.Metrics.observe (predicted_hist ()) predicted_s;
                   Ok
-                    {
-                      key = k;
-                      cached = Hashtbl.mem warm k;
-                      degraded = r.Cogent.Driver.degraded;
-                      engine;
-                      cogent_time_s;
-                      ttgt_time_s;
-                      gflops;
-                    }
+                    ( {
+                        key = k;
+                        cached = Hashtbl.mem warm k;
+                        degraded = r.Cogent.Driver.degraded;
+                        engine;
+                        cogent_time_s;
+                        ttgt_time_s;
+                        gflops;
+                      },
+                      regret_s )
             in
-            (match result with
-            | Ok o ->
+            let result = Result.map fst result_r in
+            (match result_r with
+            | Ok (o, regret_s) ->
                 Tc_obs.Flightrec.record ~key:k ~expr:req.Request.expr
                   ~strategy:(engine_name o.engine)
                   ~timings:
@@ -309,6 +371,7 @@ let run session items =
                        | Ttgt_pipeline -> o.ttgt_time_s);
                       ("cogent_s", o.cogent_time_s);
                       ("ttgt_s", o.ttgt_time_s);
+                      ("regret_s", regret_s);
                       ("wall_s", Float.max 0.0 (Sys.time () -. t0));
                     ]
                   rid
@@ -360,6 +423,7 @@ let run session items =
             match r.result with
             | Ok o -> o.engine = Ttgt_pipeline
             | Error _ -> false);
+      regrets = !regrets;
     }
   in
   Tc_obs.Metrics.incr ~by:summary.requests
@@ -434,7 +498,8 @@ let render_summary s =
      plan generations  %d\n\
      cache hits        %d\n\
      dispatch          cogent %d, ttgt %d\n\
+     dispatch regret   %d request(s)\n\
      degraded          %d\n\
      errors            %d\n"
     s.requests s.distinct s.loaded s.generations s.hits s.to_cogent s.to_ttgt
-    s.degraded s.errors
+    s.regrets s.degraded s.errors

@@ -58,6 +58,11 @@ type summary = {
   errors : int;
   to_cogent : int;
   to_ttgt : int;
+  regrets : int;
+      (** requests with positive dispatch regret: the losing engine would
+          have been faster at the request's own extents (only possible
+          through the cache's size-class approximation; see
+          {!Tc_audit.Audit}) *)
 }
 
 type report = {
@@ -71,9 +76,19 @@ type report = {
 
 type session
 
-val open_session : ?store:string -> Cogent.Ctx.t -> (session, string) result
+val open_session :
+  ?store:string ->
+  ?audit:Tc_audit.Audit.collector ->
+  ?flight_capacity:int ->
+  Cogent.Ctx.t ->
+  (session, string) result
 (** [store] names a {!Planstore} directory; its entries pre-populate the
-    cache.  [Error] on an unreadable or wrong-schema store. *)
+    cache.  [audit] attaches an accuracy-ledger collector: {!run} then
+    also measures every distinct plan's ground-truth counters (inside the
+    generation fan-out) and appends one {!Tc_audit.Audit.sample} per
+    successful request, in request order.  [flight_capacity] resizes the
+    global {!Tc_obs.Flightrec} ring (default stays 128).  [Error] on an
+    unreadable or wrong-schema store. *)
 
 val close_session : session -> unit
 (** Flush every cached plan back to the store (no-op without one). *)
@@ -88,8 +103,12 @@ val run : session -> (Request.t, int * string) result list -> report
     {!Tc_obs.Trace.with_request} scope named [req-NNN], so its parse,
     plan search (wherever the pool runs it), dispatch and simulated
     execution form one connected span tree in the Chrome export, with
-    [predicted_ms], [actual_ms] and [strategy] recorded as span
-    attributes.  Per-request latencies land in the
+    [predicted_ms], [actual_ms], [regret_ms] and [strategy] recorded as
+    span attributes (plus [model_tx_rel_err] when an audit collector is
+    attached); each dispatched request's flight-recorder entry carries a
+    [regret_s] timing, and the deterministic [cogent.audit.*] instruments
+    (regret counter/histogram, sample counter, model-error histogram)
+    accumulate in request order.  Per-request latencies land in the
     [cogent.serve.predicted_seconds] histogram (deterministic — model
     output observed in request order) and the [cogent.serve.*_wall_*]
     histograms (wall clock, excluded from the CI deterministic subset by

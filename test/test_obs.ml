@@ -177,6 +177,67 @@ let test_quantiles () =
        0.5
     = None)
 
+(* Degenerate bucket populations the audit aggregation leans on: a single
+   observation, and every observation past the last finite bound. *)
+let test_quantile_edge_cases () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~buckets:[ 1.0; 2.0; 4.0 ] "one" in
+  Metrics.observe h 1.5;
+  let item = List.hd (Metrics.snapshot reg) in
+  let q p = Option.get (Metrics.quantile item p) in
+  check (Alcotest.float 1e-9) "single observation: p50 interpolates" 1.5
+    (q 0.5);
+  check (Alcotest.float 1e-9) "single observation: p0 is the floor" 0.0
+    (q 0.0);
+  check (Alcotest.float 1e-9) "single observation: p100 is its bucket bound"
+    2.0 (q 1.0);
+  let reg = Metrics.create () in
+  let h = Metrics.histogram ~registry:reg ~buckets:[ 1.0; 2.0 ] "over" in
+  List.iter (Metrics.observe h) [ 5.0; 6.0; 7.0 ];
+  let item = List.hd (Metrics.snapshot reg) in
+  List.iter
+    (fun p ->
+      check (Alcotest.float 1e-9)
+        (Printf.sprintf "all mass in overflow: p%g clamps" (p *. 100.0))
+        2.0
+        (Option.get (Metrics.quantile item p)))
+    [ 0.5; 0.9; 0.99; 1.0 ]
+
+(* The audit-instrument pipeline shape: model output computed on the
+   pool (order-preserving), observed sequentially in request order.  The
+   Prometheus exposition — bucket counts AND float sums — must then be
+   byte-identical at any job count. *)
+let audit_exposition_jobs_invariant =
+  QCheck.Test.make ~count:30
+    ~name:"audit metric exposition is jobs-invariant"
+    QCheck.(small_list (float_bound_inclusive 2.0))
+    (fun xs ->
+      let expose jobs =
+        let p = Tc_par.Pool.create ~jobs () in
+        let errs =
+          Fun.protect
+            ~finally:(fun () -> Tc_par.Pool.shutdown p)
+            (fun () ->
+              Tc_par.Pool.map
+                (fun x -> Float.abs (1.0 -. Float.exp (-.x)))
+                xs)
+        in
+        let reg = Metrics.create () in
+        let h =
+          Metrics.histogram ~registry:reg
+            ~buckets:[ 0.001; 0.01; 0.1; 0.5; 1.0 ]
+            "cogent.audit.tx_rel_err"
+        in
+        let c = Metrics.counter ~registry:reg "cogent.audit.samples" in
+        List.iter
+          (fun e ->
+            Metrics.incr c;
+            Metrics.observe h e)
+          errs;
+        Metrics.to_prometheus (Metrics.snapshot reg)
+      in
+      String.equal (expose 1) (expose 4))
+
 (* Prometheus exposition: exact bytes, including name sanitization and
    the implicit +Inf bucket. *)
 let test_prometheus_exposition () =
@@ -235,6 +296,36 @@ let test_flightrec_ring () =
   Flightrec.clear r;
   check Alcotest.int "clear empties the ring" 0
     (List.length (Flightrec.entries r))
+
+(* Resizing keeps the newest retained entries (in order) and the running
+   sequence numbers; shrink drops the oldest first. *)
+let test_flightrec_set_capacity () =
+  let r = Flightrec.create ~capacity:4 () in
+  for i = 0 to 5 do
+    Flightrec.record ~recorder:r (Printf.sprintf "req-%03d" i)
+  done;
+  Flightrec.set_capacity ~recorder:r 2;
+  check Alcotest.int "shrunk capacity" 2 (Flightrec.capacity r);
+  check (Alcotest.list Alcotest.int) "shrink keeps the newest" [ 4; 5 ]
+    (List.map (fun e -> e.Flightrec.seq) (Flightrec.entries r));
+  Flightrec.set_capacity ~recorder:r 6;
+  check Alcotest.int "regrown capacity" 6 (Flightrec.capacity r);
+  check (Alcotest.list Alcotest.int) "grow retains entries" [ 4; 5 ]
+    (List.map (fun e -> e.Flightrec.seq) (Flightrec.entries r));
+  Flightrec.record ~recorder:r "req-006";
+  check (Alcotest.list Alcotest.int) "sequence numbers continue" [ 4; 5; 6 ]
+    (List.map (fun e -> e.Flightrec.seq) (Flightrec.entries r));
+  check Alcotest.int "recorded still counts everything" 7
+    (Flightrec.recorded r);
+  (* same-size set is a no-op, not a clear *)
+  Flightrec.set_capacity ~recorder:r 6;
+  check Alcotest.int "same-size set keeps entries" 3
+    (List.length (Flightrec.entries r));
+  (* values below 1 clamp instead of raising *)
+  Flightrec.set_capacity ~recorder:r 0;
+  check Alcotest.int "clamped to 1" 1 (Flightrec.capacity r);
+  check (Alcotest.list Alcotest.int) "newest entry survives the clamp" [ 6 ]
+    (List.map (fun e -> e.Flightrec.seq) (Flightrec.entries r))
 
 let test_flightrec_dump () =
   let r = Flightrec.create ~capacity:8 () in
@@ -533,14 +624,19 @@ let () =
           Alcotest.test_case "snapshot deterministic" `Quick
             test_metrics_snapshot_deterministic;
           Alcotest.test_case "quantiles" `Quick test_quantiles;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_quantile_edge_cases;
           Alcotest.test_case "prometheus exposition" `Quick
             test_prometheus_exposition;
           Gen.to_alcotest metrics_deterministic_on_generated;
+          Gen.to_alcotest audit_exposition_jobs_invariant;
         ] );
       ( "flightrec",
         [
           Alcotest.test_case "ring retains the newest entries" `Quick
             test_flightrec_ring;
+          Alcotest.test_case "set_capacity preserves the newest entries"
+            `Quick test_flightrec_set_capacity;
           Alcotest.test_case "dump is well-formed JSONL" `Quick
             test_flightrec_dump;
         ] );

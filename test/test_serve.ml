@@ -98,18 +98,22 @@ let test_planstore_skips_corrupt_row () =
   in
   output_string oc "{\"key\":\"bad\",\"entry\":{\"expr\":\n";
   close_out oc;
-  let metric () =
+  let metric name =
     Option.value ~default:0.0
       (Tc_obs.Metrics.value Tc_obs.Metrics.global
-         "cogent.serve.planstore.corrupt_rows")
+         ("cogent.serve.planstore." ^ name))
   in
-  let before = metric () in
+  let before = metric "corrupt_rows" in
   (match Tc_serve.Planstore.load ~dir with
   | Error m -> fail m
   | Ok rows ->
       check Alcotest.int "good row survives" 1 (List.length rows);
       check Alcotest.bool "row round-tripped" true ([ ("good", r) ] = rows));
-  check (Alcotest.float 0.0) "corrupt row counted" (before +. 1.0) (metric ())
+  check (Alcotest.float 0.0) "corrupt row counted" (before +. 1.0)
+    (metric "corrupt_rows");
+  (* header line 1, good row line 2, corrupt row line 3 *)
+  check (Alcotest.float 0.0) "gauge names the offending line" 3.0
+    (metric "corrupt_line")
 
 (* ---- budget degradation ---- *)
 
@@ -351,6 +355,119 @@ let test_flight_recorder_entries () =
   | _ -> fail "expected three entries");
   Tc_obs.Flightrec.clear Tc_obs.Flightrec.global
 
+(* ---- the audit hook ---- *)
+
+(* With a collector attached, every dispatched request yields exactly one
+   accuracy sample, in request order, with the interpreter-measured
+   ground truth filled in; errored requests yield none.  The flight
+   entry gains a regret_s timing and the summary counts regretted
+   requests. *)
+let test_audit_hook () =
+  Tc_obs.Flightrec.clear Tc_obs.Flightrec.global;
+  let collector = Tc_audit.Audit.collector () in
+  let s =
+    match Tc_serve.Serve.open_session ~audit:collector ctx with
+    | Ok s -> s
+    | Error m -> fail m
+  in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      (* same size class: served by req 1's plan, regret evaluated at
+         its own extents *)
+      Ok (req 2 "ab-ac-cb" [ ('a', 60); ('b', 60); ('c', 60) ]);
+      Ok (req 3 "definitely not a contraction" [ ('a', 4) ]);
+    ]
+  in
+  let report = Tc_serve.Serve.run s items in
+  let samples = Tc_audit.Audit.samples collector in
+  check (Alcotest.list Alcotest.string) "one sample per ok request, in order"
+    [ "req-001"; "req-002" ]
+    (List.map (fun smp -> smp.Tc_audit.Audit.request) samples);
+  List.iter
+    (fun smp ->
+      check Alcotest.string "suite stamped" "serve" smp.Tc_audit.Audit.suite;
+      check Alcotest.bool "regret is non-negative" true
+        (smp.Tc_audit.Audit.regret_s >= 0.0);
+      check Alcotest.bool "measured counters populated" true
+        (Tc_audit.Audit.tx_total smp.Tc_audit.Audit.measured_tx > 0.0))
+    samples;
+  (match samples with
+  | [ rep; dup ] ->
+      check Alcotest.bool "shared plan key" true
+        (rep.Tc_audit.Audit.key = dup.Tc_audit.Audit.key);
+      (* the first request IS the representative: regret identically 0 *)
+      check (Alcotest.float 0.0) "no regret on the representative" 0.0
+        rep.Tc_audit.Audit.regret_s
+  | _ -> fail "expected two samples");
+  check Alcotest.int "summary counts regretted requests"
+    (List.length
+       (List.filter (fun smp -> smp.Tc_audit.Audit.regret_s > 0.0) samples))
+    report.Tc_serve.Serve.summary.Tc_serve.Serve.regrets;
+  List.iter
+    (fun e ->
+      match e.Tc_obs.Flightrec.error with
+      | Some _ -> ()
+      | None ->
+          check Alcotest.bool "flight entry records regret_s" true
+            (List.mem_assoc "regret_s" e.Tc_obs.Flightrec.timings))
+    (Tc_obs.Flightrec.entries Tc_obs.Flightrec.global);
+  Tc_obs.Flightrec.clear Tc_obs.Flightrec.global
+
+(* Cold store vs warm restart must collect byte-identical samples: the
+   ground truth is measured inside the generation fan-out when plans are
+   fresh and recomputed from the cached plan when they are not, and the
+   two must agree. *)
+let test_audit_cold_warm_identical () =
+  let dir = fresh_dir () in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Ok (req 2 "abc-bda-dc" [ ('a', 32); ('b', 32); ('c', 32); ('d', 32) ]);
+    ]
+  in
+  let batch () =
+    let collector = Tc_audit.Audit.collector () in
+    let s =
+      match Tc_serve.Serve.open_session ~store:dir ~audit:collector ctx with
+      | Ok s -> s
+      | Error m -> fail m
+    in
+    ignore (Tc_serve.Serve.run s items);
+    Tc_serve.Serve.close_session s;
+    Tc_audit.Audit.samples collector
+  in
+  let cold = batch () in
+  let warm = batch () in
+  check Alcotest.int "both batches sampled everything" 2 (List.length cold);
+  check Alcotest.bool "cold and warm samples are identical" true (cold = warm)
+
+let test_flight_capacity_option () =
+  Tc_obs.Flightrec.clear Tc_obs.Flightrec.global;
+  let restore () = Tc_obs.Flightrec.set_capacity 128 in
+  Fun.protect ~finally:restore @@ fun () ->
+  let s =
+    match Tc_serve.Serve.open_session ~flight_capacity:2 ctx with
+    | Ok s -> s
+    | Error m -> fail m
+  in
+  let items =
+    [
+      Ok (req 1 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Ok (req 2 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+      Ok (req 3 "ab-ac-cb" [ ('a', 64); ('b', 64); ('c', 64) ]);
+    ]
+  in
+  ignore (Tc_serve.Serve.run s items);
+  check Alcotest.int "ring resized" 2
+    (Tc_obs.Flightrec.capacity Tc_obs.Flightrec.global);
+  check (Alcotest.list Alcotest.string) "only the newest requests retained"
+    [ "req-002"; "req-003" ]
+    (List.map
+       (fun e -> e.Tc_obs.Flightrec.request)
+       (Tc_obs.Flightrec.entries Tc_obs.Flightrec.global));
+  Tc_obs.Flightrec.clear Tc_obs.Flightrec.global
+
 (* ---- request parsing ---- *)
 
 let test_request_parsing () =
@@ -410,5 +527,11 @@ let () =
             test_notices_buffered;
           Alcotest.test_case "flight recorder: one entry per request" `Quick
             test_flight_recorder_entries;
+          Alcotest.test_case "audit hook samples every dispatch" `Quick
+            test_audit_hook;
+          Alcotest.test_case "audit samples identical cold vs warm" `Quick
+            test_audit_cold_warm_identical;
+          Alcotest.test_case "flight_capacity resizes the global ring" `Quick
+            test_flight_capacity_option;
         ] );
     ]
