@@ -220,11 +220,14 @@ let mapi ?pool f xs =
 
 let map ?pool f xs = mapi ?pool (fun _ x -> f x) xs
 
+let map_fold ?pool ~map:f ~fold ~init xs =
+  List.fold_left fold init (map ?pool f xs)
+
 let fold_best ?pool ~better f xs =
-  List.fold_left
-    (fun best candidate ->
+  map_fold ?pool ~map:f ~init:None
+    ~fold:(fun best candidate ->
       match best with
       | None -> Some candidate
       | Some incumbent ->
           if better candidate incumbent then Some candidate else best)
-    None (map ?pool f xs)
+    xs

@@ -67,6 +67,21 @@ val map : ?pool:t -> ('a -> 'b) -> 'a list -> 'b list
 
 val mapi : ?pool:t -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
+val map_fold :
+  ?pool:t ->
+  map:('a -> 'b) ->
+  fold:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc
+(** Deterministic chunked reduction: [map] runs on the pool
+    (order-preserving, like {!map}) and [fold] then reduces the results
+    {e sequentially in index order} on the calling domain.  As long as
+    [map] is pure, the result is bit-identical at any job count — the
+    fan-out shape of the streaming planner pipeline, whose per-chunk
+    candidate heaps and prune tallies merge in chunk order.  {!fold_best}
+    is the argmax/argmin special case. *)
+
 val fold_best :
   ?pool:t -> better:('b -> 'b -> bool) -> ('a -> 'b) -> 'a list -> 'b option
 (** [fold_best ~better f xs] evaluates [f] on every element (in

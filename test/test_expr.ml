@@ -374,6 +374,39 @@ let test_split_preserves_memory () =
        (fun x y -> Float.abs (x -. y) < 1e-12)
        (Dense.unsafe_data orig) (Dense.unsafe_data via))
 
+(* ---- Idxset ---- *)
+
+let test_idxset_basics () =
+  let open Idxset in
+  let s = of_list (Index.list_of_string "aebf") in
+  check Alcotest.bool "mem e" true (mem 'e' s);
+  check Alcotest.bool "not mem z" false (mem 'z' s);
+  check Alcotest.int "cardinal" 4 (cardinal s);
+  check indices_t "to_list sorted" (Index.list_of_string "abef") (to_list s);
+  check Alcotest.bool "remove" false (mem 'e' (remove 'e' s));
+  check Alcotest.bool "empty" true (is_empty empty);
+  check Alcotest.int "slot a" 0 (slot 'a');
+  check Alcotest.int "slot z" 25 (slot 'z')
+
+let idxset_matches_index_set =
+  QCheck.Test.make ~count:200 ~name:"Idxset agrees with Index.Set algebra"
+    QCheck.(
+      pair
+        (small_list (map (fun n -> Char.chr (97 + (abs n mod 26))) int))
+        (small_list (map (fun n -> Char.chr (97 + (abs n mod 26))) int)))
+    (fun (la, lb) ->
+      let a = Idxset.of_list la and b = Idxset.of_list lb in
+      let sa = Index.Set.of_list la and sb = Index.Set.of_list lb in
+      Idxset.to_list (Idxset.union a b) = Index.Set.elements (Index.Set.union sa sb)
+      && Idxset.to_list (Idxset.inter a b)
+         = Index.Set.elements (Index.Set.inter sa sb)
+      && Idxset.to_list (Idxset.diff a b)
+         = Index.Set.elements (Index.Set.diff sa sb)
+      && Idxset.cardinal a = Index.Set.cardinal sa
+      && Idxset.subset a b = Index.Set.subset sa sb
+      && Idxset.disjoint a b = Index.Set.disjoint sa sb
+      && Idxset.equal a b = Index.Set.equal sa sb)
+
 (* ---- Problem ---- *)
 
 let test_problem_flops () =
@@ -456,6 +489,11 @@ let () =
           Alcotest.test_case "auto no-op on Eq. 1" `Quick test_split_auto_noop;
           Alcotest.test_case "split preserves memory" `Quick
             test_split_preserves_memory;
+        ] );
+      ( "idxset",
+        [
+          Alcotest.test_case "basics" `Quick test_idxset_basics;
+          Gen.to_alcotest idxset_matches_index_set;
         ] );
       ( "problem",
         [

@@ -96,6 +96,19 @@ let test_fold_best () =
   check (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
     "strict better keeps the earliest tie" (Some (1, 9)) r
 
+let test_map_fold () =
+  with_pool 4 @@ fun p ->
+  (* a non-commutative fold exposes any reduction-order difference *)
+  let xs = List.init 50 Fun.id in
+  let f x = string_of_int ((x * 13) mod 17) in
+  check Alcotest.string "reduces in index order"
+    (String.concat "," (List.map f xs))
+    (Pool.map_fold ~pool:p ~map:f ~init:""
+       ~fold:(fun acc s -> if acc = "" then s else acc ^ "," ^ s)
+       xs);
+  check Alcotest.int "empty input yields init" 42
+    (Pool.map_fold ~pool:p ~map:Fun.id ~init:42 ~fold:( + ) [])
+
 (* ---- trace propagation: spans from worker domains land in the
    caller's installed context (Domain.DLS ambient, re-installed by the
    pool around each item) ---- *)
@@ -317,6 +330,8 @@ let () =
             test_nested_map;
           Alcotest.test_case "fold_best reduces in index order" `Quick
             test_fold_best;
+          Alcotest.test_case "map_fold reduces in index order" `Quick
+            test_map_fold;
           Alcotest.test_case "trace spans cross domains" `Quick
             test_trace_propagation;
           Alcotest.test_case "request scope crosses domains" `Quick
