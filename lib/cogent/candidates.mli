@@ -1,0 +1,48 @@
+(** Streaming candidate producer — the enumeration half of the fused
+    planner pipeline.
+
+    {!Enumerate.enumerate} materializes the full Cartesian product of
+    partial configurations as a [Mapping.t list] and deduplicates it
+    through a [Set].  This module precomputes the three {e sorted} product
+    components once (X-side packings, Y-side packings, duplicate-free
+    completed TB_k packings) and then {e yields} full configurations one
+    at a time:
+
+    {ul
+    {- {!iter} visits exactly the configurations of
+       [Enumerate.enumerate], in the same strictly increasing
+       {!Mapping.compare} order — no intermediate list, no set (a
+       property test in [test/test_cogent.ml] locks the equivalence);}
+    {- {!iter_chunk} exposes the outer (X-side) loop as the pipeline's
+       deterministic parallel chunks: chunk boundaries depend only on the
+       problem, never on the job count, so per-chunk prune tallies and
+       candidate heaps merge bit-identically at any parallelism (see
+       [Tc_par.Pool.map_fold]).}} *)
+
+open Tc_expr
+
+type t
+
+val create : Problem.t -> t
+(** Precompute the sorted product components (runs Algorithm 2's greedy
+    packing enumeration; cheap — the product itself is not built). *)
+
+val count : t -> int
+(** Number of configurations the stream yields — equals
+    [List.length (Enumerate.enumerate problem)], i.e. the [enumerated]
+    figure of {!Prune.stats}. *)
+
+val num_chunks : t -> int
+(** Number of chunks (X-side packings).  At least 1. *)
+
+val iter_chunk : t -> int -> (Mapping.t -> unit) -> unit
+(** [iter_chunk t k f] applies [f] to chunk [k]'s configurations in
+    ascending {!Mapping.compare} order.  Chunks partition the stream:
+    concatenating chunks [0 .. num_chunks t - 1] is exactly {!iter}. *)
+
+val iter : t -> (Mapping.t -> unit) -> unit
+(** All configurations, ascending, duplicate-free. *)
+
+val to_list : t -> Mapping.t list
+(** Materialize the stream (testing/debugging; equals
+    [Enumerate.enumerate]). *)

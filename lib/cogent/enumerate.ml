@@ -103,9 +103,13 @@ let enumerate_side problem ~fvi ~externals =
   let tbs = enumerate_tb problem ~first ~candidates:rest in
   List.concat_map
     (fun tb ->
-      let used = List.map (fun b -> b.Mapping.index) tb.bindings in
+      let used =
+        List.fold_left
+          (fun s b -> Idxset.add b.Mapping.index s)
+          Idxset.empty tb.bindings
+      in
       let remaining =
-        List.filter (fun i -> not (List.exists (Index.equal i) used)) externals
+        List.filter (fun i -> not (Idxset.mem i used)) externals
       in
       List.map
         (fun reg -> { tb = tb.bindings; reg = reg.bindings })
@@ -129,12 +133,12 @@ let enumerate_tbk problem ~internals =
      reach iterate across steps with tile 1. *)
   List.map
     (fun p ->
-      let used = List.map (fun b -> b.Mapping.index) p.bindings in
-      let leftover =
-        List.filter
-          (fun i -> not (List.exists (Index.equal i) used))
-          internals
+      let used =
+        List.fold_left
+          (fun s b -> Idxset.add b.Mapping.index s)
+          Idxset.empty p.bindings
       in
+      let leftover = List.filter (fun i -> not (Idxset.mem i used)) internals in
       p.bindings
       @ List.map (fun index -> { Mapping.index; tile = 1 }) leftover)
     packings
@@ -154,7 +158,12 @@ let enumerate problem =
     enumerate_side problem ~fvi:y_fvi ~externals:info.Classify.rhs_externals
   in
   let tbks = enumerate_tbk problem ~internals:info.Classify.internals in
-  let mapped_side side = List.map (fun b -> b.Mapping.index) (side.tb @ side.reg) in
+  let mapped_side side =
+    List.fold_left
+      (fun s b -> Idxset.add b.Mapping.index s)
+      Idxset.empty
+      (side.tb @ side.reg)
+  in
   let configs =
     List.concat_map
       (fun x ->
@@ -162,12 +171,10 @@ let enumerate problem =
         List.concat_map
           (fun y ->
             let y_used = mapped_side y in
+            let used = Idxset.union x_used y_used in
             let grid =
               List.filter
-                (fun i ->
-                  not
-                    (List.exists (Index.equal i) x_used
-                    || List.exists (Index.equal i) y_used))
+                (fun i -> not (Idxset.mem i used))
                 info.Classify.externals
             in
             List.map

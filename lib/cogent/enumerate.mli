@@ -37,6 +37,27 @@ val pack_greedy :
     and whether the target was reached.  Exposed for reuse by the fixed-
     heuristic NWChem-style baseline. *)
 
+type side = { tb : Mapping.binding list; reg : Mapping.binding list }
+(** Partial configuration of one input side: thread-block bindings plus
+    register-tile bindings. *)
+
+val enumerate_side :
+  Problem.t ->
+  fvi:Tc_tensor.Index.t option ->
+  externals:Tc_tensor.Index.t list ->
+  side list
+(** All TB/REG packings of one input's externals ([fvi] forced first when
+    given).  Distinct as pairs — the building block of the Cartesian
+    product that {!enumerate} materializes and {!Candidates} streams. *)
+
+val enumerate_tbk :
+  Problem.t -> internals:Tc_tensor.Index.t list -> Mapping.binding list list
+(** All packings of the internal indices onto the serial TB_k dimension,
+    completed: internals the greedy packing did not reach are appended
+    with tile 1, so every returned list covers every internal index.
+    Completion can make distinct packings equal — callers that need a
+    duplicate-free product must dedup (see {!Candidates}). *)
+
 val enumerate : Problem.t -> Mapping.t list
 (** All structurally valid configurations for the contraction, deduplicated.
     Hardware and performance pruning is {e not} applied here; see

@@ -71,4 +71,11 @@ val validate : Problem.t -> t -> (unit, string) result
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val compare_bindings : binding list -> binding list -> int
+(** The per-dimension total order underlying {!compare} (length first,
+    then elementwise index/tile) — exposed so the streaming
+    {!Candidates} producer can pre-sort partial configurations into
+    exactly the order {!compare} induces on full ones. *)
+
 val pp : Format.formatter -> t -> unit

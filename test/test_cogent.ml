@@ -193,6 +193,36 @@ let enumerate_all_valid =
            (fun m -> Mapping.validate c.Gen.problem m = Ok ())
            configs)
 
+(* ---- Candidates (streaming producer) ---- *)
+
+let mapping_list = Alcotest.(list (testable Mapping.pp Mapping.equal))
+
+let test_candidates_eq1_stream () =
+  let cands = Candidates.create eq1 in
+  let legacy = Enumerate.enumerate eq1 in
+  check Alcotest.int "count matches enumeration" (List.length legacy)
+    (Candidates.count cands);
+  check mapping_list "stream equals materialized enumeration" legacy
+    (Candidates.to_list cands)
+
+let test_candidates_chunks_partition () =
+  let cands = Candidates.create eq1 in
+  let acc = ref [] in
+  for k = 0 to Candidates.num_chunks cands - 1 do
+    Candidates.iter_chunk cands k (fun m -> acc := m :: !acc)
+  done;
+  check mapping_list "chunks concatenate to the stream"
+    (Candidates.to_list cands) (List.rev !acc)
+
+let candidates_match_enumerate =
+  QCheck.Test.make ~count:60
+    ~name:"candidate stream equals materialized enumeration"
+    Gen.case_arbitrary (fun c ->
+      let cands = Candidates.create c.Gen.problem in
+      let legacy = Enumerate.enumerate c.Gen.problem in
+      Candidates.count cands = List.length legacy
+      && List.equal Mapping.equal (Candidates.to_list cands) legacy)
+
 (* ---- Prune ---- *)
 
 let test_prune_smem_overflow () =
@@ -748,6 +778,14 @@ let () =
             test_naive_space_eq1;
           Gen.to_alcotest enumerate_all_valid;
           Gen.to_alcotest enumerate_tbk_covers_internals;
+        ] );
+      ( "candidates",
+        [
+          Alcotest.test_case "Eq. 1 stream = enumeration" `Quick
+            test_candidates_eq1_stream;
+          Alcotest.test_case "chunks partition the stream" `Quick
+            test_candidates_chunks_partition;
+          Gen.to_alcotest candidates_match_enumerate;
         ] );
       ( "prune",
         [
