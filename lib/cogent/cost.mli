@@ -34,6 +34,44 @@ val total : Precision.t -> Problem.t -> Mapping.t -> float
 val bytes_moved : Precision.t -> Problem.t -> Mapping.t -> float
 (** [total * 128]. *)
 
+(** Incremental evaluator for the streaming pipeline.  One [Eval.t] per
+    worker replaces the per-candidate [Mapping.tile_of] list searches with
+    a shared tile-slot scratch (indexed by {!Tc_expr.Idxset.slot}) and
+    evaluates the breakdown components in charge order, abandoning a
+    candidate as soon as its partial sum exceeds the caller's bound.  Not
+    thread-safe: never share one evaluator across pool workers. *)
+module Eval : sig
+  type t
+
+  val create : Precision.t -> Problem.t -> t
+
+  val load : t -> Mapping.t -> unit
+  (** Load a candidate into the scratch.  Valid mappings all bind the same
+      index set, so consecutive loads need no reset. *)
+
+  val tile : t -> Index.t -> int
+  (** [Mapping.tile_of] of the loaded candidate, as an array read. *)
+
+  val blocks : t -> int
+  (** [Mapping.num_blocks] of the loaded candidate, memoized. *)
+
+  val threads : t -> int
+  (** [Mapping.threads_per_block] of the loaded candidate. *)
+
+  val smem_elems : t -> int
+  (** [Mapping.smem_elems] of the loaded candidate. *)
+
+  val reg_elems : t -> int
+  (** [Mapping.reg_elems_per_thread] of the loaded candidate. *)
+
+  val cost_bounded : t -> bound:float -> float option
+  (** Cost of the loaded candidate, or [None] when it exceeds [bound]
+      (possibly abandoning the evaluation early — each breakdown
+      component is strictly positive, so a partial sum above the bound is
+      conclusive).  [Some c] is bit-identical to [total prec problem m];
+      with [bound = infinity] it never returns [None]. *)
+end
+
 type tensor_charge = {
   tensor : string;  (** ["A"], ["B"] or ["C"] *)
   transactions : float;  (** what the model charged over the whole kernel *)

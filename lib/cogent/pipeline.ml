@@ -1,0 +1,248 @@
+type outcome = {
+  ranked : (Mapping.t * float) list;
+  stats : Prune.stats;
+  bound_aborted : int;
+  degraded : bool;
+}
+
+(* Bounded best-heap: the K cheapest candidates under the total order
+   (cost, Mapping.compare).  A max-heap on that order keeps the current
+   worst resident at the root, which is the branch-and-bound cutoff the
+   evaluator aborts against.  Because the order is total, the retained
+   set — and hence [to_sorted] — is independent of insertion order, so
+   per-chunk heaps merged in any grouping equal one sequential heap. *)
+module Topk = struct
+  type entry = { cost : float; m : Mapping.t }
+
+  type t = { cap : int; mutable n : int; heap : entry array }
+
+  let dummy =
+    {
+      cost = nan;
+      m = { Mapping.tbx = []; regx = []; tby = []; regy = []; tbk = []; grid = [] };
+    }
+
+  let create cap =
+    let cap = max 1 cap in
+    { cap; n = 0; heap = Array.make cap dummy }
+
+  (* [worse a b]: a ranks strictly after b in the final ascending order. *)
+  let worse a b =
+    match Float.compare a.cost b.cost with
+    | 0 -> Mapping.compare a.m b.m > 0
+    | c -> c > 0
+
+  let bound t = if t.n < t.cap then infinity else t.heap.(0).cost
+
+  let swap t i j =
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(j);
+    t.heap.(j) <- tmp
+
+  let rec sift_up t k =
+    if k > 0 then
+      let p = (k - 1) / 2 in
+      if worse t.heap.(k) t.heap.(p) then begin
+        swap t k p;
+        sift_up t p
+      end
+
+  let rec sift_down t k =
+    let l = (2 * k) + 1 and r = (2 * k) + 2 in
+    let largest = ref k in
+    if l < t.n && worse t.heap.(l) t.heap.(!largest) then largest := l;
+    if r < t.n && worse t.heap.(r) t.heap.(!largest) then largest := r;
+    if !largest <> k then begin
+      swap t k !largest;
+      sift_down t !largest
+    end
+
+  let insert t m cost =
+    let e = { cost; m } in
+    if t.n < t.cap then begin
+      t.heap.(t.n) <- e;
+      t.n <- t.n + 1;
+      sift_up t (t.n - 1);
+      true
+    end
+    else if worse t.heap.(0) e then begin
+      t.heap.(0) <- e;
+      sift_down t 0;
+      true
+    end
+    else false
+
+  let iter t f =
+    for k = 0 to t.n - 1 do
+      f t.heap.(k).m t.heap.(k).cost
+    done
+
+  let to_sorted t =
+    let l = ref [] in
+    iter t (fun m c -> l := (m, c) :: !l);
+    List.sort
+      (fun (m1, c1) (m2, c2) ->
+        match Float.compare c1 c2 with 0 -> Mapping.compare m1 m2 | c -> c)
+      !l
+end
+
+(* One chunk's worth of streamed work; merged sequentially in chunk order
+   by [Tc_par.Pool.map_fold]. *)
+type chunk_out = {
+  c_tally : int array;
+  c_kept : int;
+  c_aborted : int;
+  c_top : (Mapping.t * float) list;  (* heap mode: chunk top-K, unordered *)
+  c_fed : Mapping.t list;  (* feed mode: first <= maxfeed survivors, in order *)
+}
+
+(* Feed mode (search budget set) ranks the first [maxfeed] survivors in
+   candidate order, exactly like the legacy truncate-then-rank path; heap
+   mode streams every survivor through the bounded evaluator. *)
+type mode = Heap of int | Feed of int
+
+(* One work unit: a fixed slice of the chunk stream, scanned with one
+   shared evaluator and one heap.  The slice boundaries depend only on
+   the chunk count — never on the job count — so unit outputs (and the
+   bound each unit's heap tightens as it goes) are reproducible at any
+   parallelism. *)
+let scan_chunks cands checker eval mode ~tallying ~lo ~hi =
+  let tally = Array.make Prune.num_reasons 0 in
+  let kept = ref 0 and aborted = ref 0 and n_fed = ref 0 in
+  let fed = ref [] in
+  let heap =
+    match mode with Heap cap -> Topk.create cap | Feed _ -> Topk.create 1
+  in
+  let tile i = Cost.Eval.tile eval i in
+  let blocks () = Cost.Eval.blocks eval in
+  let visit m =
+    Cost.Eval.load eval m;
+    match
+      Prune.check_stream checker ~threads:(Cost.Eval.threads eval)
+        ~smem_elems:(Cost.Eval.smem_elems eval)
+        ~reg_elems:(Cost.Eval.reg_elems eval) ~tile ~blocks
+    with
+    | Some r ->
+        if tallying then begin
+          let k = Prune.reason_index r in
+          tally.(k) <- tally.(k) + 1
+        end
+    | None -> (
+        incr kept;
+        match mode with
+        | Feed maxfeed ->
+            if !n_fed < maxfeed then begin
+              fed := m :: !fed;
+              incr n_fed
+            end
+        | Heap _ -> (
+            match Cost.Eval.cost_bounded eval ~bound:(Topk.bound heap) with
+            | None -> incr aborted
+            | Some c -> if not (Topk.insert heap m c) then incr aborted))
+  in
+  for chunk_i = lo to hi - 1 do
+    Candidates.iter_chunk cands chunk_i visit
+  done;
+  let top = ref [] in
+  Topk.iter heap (fun m c -> top := (m, c) :: !top);
+  {
+    c_tally = tally;
+    c_kept = !kept;
+    c_aborted = !aborted;
+    c_top = !top;
+    c_fed = List.rev !fed;
+  }
+
+(* Fixed fan-out width: chunk slices per search.  A constant (not the
+   job count!) so that slice boundaries — and with them bound-abort
+   tallies — are identical however many workers execute them. *)
+let work_units = 16
+
+let search ?(performance = true) ?budget ~topk arch prec problem =
+  let cands = Candidates.create problem in
+  let enumerated = Candidates.count cands in
+  let nchunks = Candidates.num_chunks cands in
+  let units = min work_units nchunks in
+  (* Slice [0, nchunks) into [units] contiguous ranges, sized as evenly
+     as integer division allows. *)
+  let slices =
+    List.init units (fun u ->
+        (nchunks * u / units, nchunks * (u + 1) / units))
+  in
+  let maxfeed = Option.map (fun b -> max 1 b) budget in
+  let mode =
+    match maxfeed with
+    | Some f -> Feed f
+    | None -> Heap (max 1 topk)
+  in
+  (* One pass over the whole candidate stream with a given rule set.
+     Workers are pure: each chunk gets its own evaluator and heap, and
+     metrics/trace emission stays on the calling domain after the merge. *)
+  let pass checker ~tallying =
+    let tally = Array.make Prune.num_reasons 0 in
+    let heap =
+      match mode with Heap cap -> Topk.create cap | Feed _ -> Topk.create 1
+    in
+    let kept, aborted, _, fed_rev =
+      Tc_par.Pool.map_fold slices
+        ~map:(fun (lo, hi) ->
+          scan_chunks cands checker (Cost.Eval.create prec problem) mode
+            ~tallying ~lo ~hi)
+        ~init:(0, 0, 0, [])
+        ~fold:(fun (kept, aborted, n_fed, fed_rev) c ->
+          if tallying then
+            Array.iteri (fun k n -> tally.(k) <- tally.(k) + n) c.c_tally;
+          List.iter (fun (m, cost) -> ignore (Topk.insert heap m cost)) c.c_top;
+          let n_fed, fed_rev =
+            match mode with
+            | Heap _ -> (n_fed, fed_rev)
+            | Feed maxfeed ->
+                List.fold_left
+                  (fun (n, acc) m ->
+                    if n < maxfeed then (n + 1, m :: acc) else (n, acc))
+                  (n_fed, fed_rev) c.c_fed
+          in
+          (kept + c.c_kept, aborted + c.c_aborted, n_fed, fed_rev))
+    in
+    (tally, kept, aborted, heap, List.rev fed_rev)
+  in
+  let primary_tally, primary_kept, primary_aborted, primary_heap, primary_fed =
+    pass (Prune.checker ~performance arch prec problem) ~tallying:true
+  in
+  let kept, aborted, heap, fed, relaxed, relax_attempts =
+    if primary_kept > 0 then
+      (primary_kept, primary_aborted, primary_heap, primary_fed, false, 0)
+    else
+      (* Relaxation ladder, exactly as [Prune.filter]: re-stream the
+         candidates per attempt (hardware rules always stay), stop at the
+         first rule set with survivors; reject tallies cover only the
+         primary pass. *)
+      let rec try_relax n = function
+        | [] -> (0, 0, primary_heap, [], true, n)
+        | classes :: rest -> (
+            match
+              pass (Prune.checker_of_classes classes arch prec problem)
+                ~tallying:false
+            with
+            | _, 0, _, _, _ -> try_relax (n + 1) rest
+            | _, kept, aborted, heap, fed ->
+                (kept, aborted, heap, fed, true, n + 1))
+      in
+      try_relax 0 Prune.relax_attempts_classes
+  in
+  let ranked =
+    match mode with
+    | Heap _ -> Topk.to_sorted heap
+    | Feed _ -> Cost.rank prec problem fed
+  in
+  let degraded =
+    match maxfeed with Some f -> kept > f | None -> false
+  in
+  {
+    ranked;
+    stats =
+      Prune.stats_of_tally ~enumerated ~kept ~relaxed ~relax_attempts
+        primary_tally;
+    bound_aborted = aborted;
+    degraded;
+  }

@@ -1,0 +1,59 @@
+(** Fused streaming planner: enumerate → prune → rank as one candidate
+    pipeline with branch-and-bound cost pruning.
+
+    The legacy hot path materializes three intermediate lists
+    ({!Enumerate.enumerate}, {!Prune.filter}, {!Cost.rank}).  [search]
+    instead streams each candidate from {!Candidates} through the
+    {!Prune.check_stream} rules and an incremental {!Cost.Eval}
+    evaluation that aborts as soon as the candidate's partial
+    transaction count exceeds the cost of the current K-th best (a
+    bounded best-heap ordered by (cost, {!Mapping.compare})).
+
+    Equivalences with the legacy path, locked by a property test in
+    [test/test_cogent.ml]:
+
+    {ul
+    {- the ranked result equals the first [topk] entries of
+       [Cost.rank prec problem (fst (Prune.filter ...))] — mappings and
+       costs bit-identical;}
+    {- {!Prune.stats} is structurally equal (same canonical reject
+       tally, relaxation behaves identically);}
+    {- with [budget], the first [max 1 budget] survivors in candidate
+       order are ranked in full, like the legacy truncate-then-rank
+       path, and [degraded] is set iff survivors were dropped.}}
+
+    Determinism: the parallel fan-out is over {!Candidates.iter_chunk}
+    chunks via {!Tc_par.Pool.map_fold}.  Chunk boundaries depend only on
+    the problem, per-chunk tallies/heaps merge in chunk order, and the
+    heap order is total — so every field of [outcome], including
+    [bound_aborted], is bit-identical at any job count. *)
+
+open Tc_gpu
+open Tc_expr
+
+type outcome = {
+  ranked : (Mapping.t * float) list;
+      (** top-[topk] candidates, ascending (cost, {!Mapping.compare}) *)
+  stats : Prune.stats;  (** rule-based reject statistics, full stream *)
+  bound_aborted : int;
+      (** prune survivors discarded by the cost bound instead of a §IV-A
+          rule: their (possibly partial) transaction count already
+          exceeded the current top-K — distinct from [stats.pruned] *)
+  degraded : bool;  (** budget truncation dropped survivors *)
+}
+
+val search :
+  ?performance:bool ->
+  ?budget:int ->
+  topk:int ->
+  Arch.t ->
+  Precision.t ->
+  Problem.t ->
+  outcome
+(** One fused search.  [performance:false] streams with hardware rules
+    only (the ablation hook of {!Prune.filter}).  [budget] bounds the
+    survivors ranked (serving-layer worst case): the first [max 1 budget]
+    in candidate order are ranked exactly, with no bound aborts.
+    [ranked] is empty iff no configuration survives even relaxation.
+    Emits no metrics or spans — the caller ({!Driver}) owns
+    observability, outside the parallel section. *)

@@ -63,10 +63,8 @@ let occupancy arch prec mapping =
     }
 
 (* Coalescing guard: the tile of a tensor's FVI must cover the whole (small)
-   extent or be at least [min_fvi_tile]. *)
-let fvi_ok problem mapping fvi =
-  let tile = Mapping.tile_of mapping fvi in
-  tile >= min (Problem.extent problem fvi) min_fvi_tile
+   extent or be at least [min_fvi_tile] — [tile >= min extent min_fvi_tile],
+   with the right-hand side precomputed in the {!checker}. *)
 
 type klass =
   | Hardware
@@ -89,48 +87,102 @@ let klass_to_string = function
   | Perf_coalescing_out -> "coalescing-out"
   | Perf_coalescing_in -> "coalescing-in"
 
-let constraints arch prec problem mapping =
-  let info = Problem.info problem in
-  let occ = occupancy arch prec mapping in
-  [
-    ( Hardware,
-      Too_many_threads,
-      Mapping.threads_per_block mapping <= arch.Arch.max_threads_per_block );
-    (Hardware, Smem_overflow, smem_bytes prec mapping <= arch.Arch.smem_per_block);
-    ( Hardware,
-      Regs_overflow,
-      regs_per_thread prec mapping <= arch.Arch.regs_per_thread_max
-      && occ.Occupancy.limiter <> Occupancy.Invalid );
-    (Perf_occupancy, Low_occupancy, occ.Occupancy.occupancy >= min_occupancy);
-    ( Perf_occupancy,
-      Too_few_threads,
-      Mapping.threads_per_block mapping >= arch.Arch.warp_size );
-    ( Perf_blocks,
-      Too_few_blocks,
-      Mapping.num_blocks problem mapping >= min_blocks_factor * arch.Arch.sms
-    );
-    ( Perf_coalescing_out,
-      Uncoalesced_out,
-      fvi_ok problem mapping info.Classify.out_fvi );
-    ( Perf_coalescing_in,
-      Uncoalesced_lhs,
-      fvi_ok problem mapping info.Classify.lhs_fvi );
-    ( Perf_coalescing_in,
-      Uncoalesced_rhs,
-      fvi_ok problem mapping info.Classify.rhs_fvi );
-  ]
-
-let check_classes classes arch prec problem mapping =
-  let rec go = function
-    | [] -> Ok ()
-    | (klass, reason, ok) :: rest ->
-        if List.mem klass classes && not ok then Error reason else go rest
-  in
-  go (constraints arch prec problem mapping)
-
 let all_classes =
   [ Hardware; Perf_occupancy; Perf_blocks; Perf_coalescing_out;
     Perf_coalescing_in ]
+
+(* Streaming checker: the constraint list of §IV-A with the per-candidate
+   work hoisted out.  Checks run in the same order as the historical
+   eagerly-built constraint list — first violation wins — but occupancy is
+   computed lazily (it is the expensive check and is skipped entirely once
+   an earlier rule fires or when neither the Hardware nor the
+   Perf_occupancy class is active). *)
+type checker = {
+  arch : Arch.t;
+  prec : Precision.t;
+  out_fvi : Tc_tensor.Index.t;
+  lhs_fvi : Tc_tensor.Index.t;
+  rhs_fvi : Tc_tensor.Index.t;
+  out_fvi_min : int;  (* min (extent out_fvi) min_fvi_tile *)
+  lhs_fvi_min : int;
+  rhs_fvi_min : int;
+  min_blocks : int;
+  chk_hardware : bool;
+  chk_occupancy : bool;
+  chk_blocks : bool;
+  chk_out : bool;
+  chk_in : bool;
+}
+
+let checker_of_classes classes arch prec problem =
+  let info = Problem.info problem in
+  let fvi_min f = min (Problem.extent problem f) min_fvi_tile in
+  {
+    arch;
+    prec;
+    out_fvi = info.Classify.out_fvi;
+    lhs_fvi = info.Classify.lhs_fvi;
+    rhs_fvi = info.Classify.rhs_fvi;
+    out_fvi_min = fvi_min info.Classify.out_fvi;
+    lhs_fvi_min = fvi_min info.Classify.lhs_fvi;
+    rhs_fvi_min = fvi_min info.Classify.rhs_fvi;
+    min_blocks = min_blocks_factor * arch.Arch.sms;
+    chk_hardware = List.mem Hardware classes;
+    chk_occupancy = List.mem Perf_occupancy classes;
+    chk_blocks = List.mem Perf_blocks classes;
+    chk_out = List.mem Perf_coalescing_out classes;
+    chk_in = List.mem Perf_coalescing_in classes;
+  }
+
+let checker ?(performance = true) arch prec problem =
+  checker_of_classes (if performance then all_classes else [ Hardware ])
+    arch prec problem
+
+let check_stream c ~threads ~smem_elems ~reg_elems ~tile ~blocks =
+  let bytes = Precision.bytes c.prec in
+  let smem = smem_elems * bytes in
+  let regs = (bytes / 4 * reg_elems) + 32 in
+  let occ =
+    lazy
+      (Occupancy.calculate c.arch
+         {
+           Occupancy.threads_per_block = threads;
+           smem_per_block = smem;
+           regs_per_thread = min 255 regs;
+         })
+  in
+  if c.chk_hardware && threads > c.arch.Arch.max_threads_per_block then
+    Some Too_many_threads
+  else if c.chk_hardware && smem > c.arch.Arch.smem_per_block then
+    Some Smem_overflow
+  else if
+    c.chk_hardware
+    && not
+         (regs <= c.arch.Arch.regs_per_thread_max
+         && (Lazy.force occ).Occupancy.limiter <> Occupancy.Invalid)
+  then Some Regs_overflow
+  else if c.chk_occupancy && (Lazy.force occ).Occupancy.occupancy < min_occupancy
+  then Some Low_occupancy
+  else if c.chk_occupancy && threads < c.arch.Arch.warp_size then
+    Some Too_few_threads
+  else if c.chk_blocks && blocks () < c.min_blocks then Some Too_few_blocks
+  else if c.chk_out && tile c.out_fvi < c.out_fvi_min then Some Uncoalesced_out
+  else if c.chk_in && tile c.lhs_fvi < c.lhs_fvi_min then Some Uncoalesced_lhs
+  else if c.chk_in && tile c.rhs_fvi < c.rhs_fvi_min then Some Uncoalesced_rhs
+  else None
+
+let check_classes classes arch prec problem mapping =
+  let c = checker_of_classes classes arch prec problem in
+  match
+    check_stream c
+      ~threads:(Mapping.threads_per_block mapping)
+      ~smem_elems:(Mapping.smem_elems mapping)
+      ~reg_elems:(Mapping.reg_elems_per_thread mapping)
+      ~tile:(Mapping.tile_of mapping)
+      ~blocks:(fun () -> Mapping.num_blocks problem mapping)
+  with
+  | None -> Ok ()
+  | Some r -> Error r
 
 let check arch prec problem mapping =
   check_classes all_classes arch prec problem mapping
@@ -147,6 +199,76 @@ type stats = {
 
 let pruned_count s reason =
   Option.value ~default:0 (List.assoc_opt reason s.pruned)
+
+(* Reject tallies are int arrays indexed by declaration order: cheap to
+   bump in the streaming hot loop and trivially summed across the
+   pipeline's parallel chunks.  [stats_of_tally] renders them in one
+   canonical order — count-descending, declaration order on ties (the
+   sort is stable) — so a tally produced chunk-by-chunk yields the exact
+   [stats] value of a single sequential pass. *)
+let reason_index r =
+  let rec go k = function
+    | [] -> assert false
+    | r' :: rest -> if r' = r then k else go (k + 1) rest
+  in
+  go 0 all_reasons
+
+let num_reasons = List.length all_reasons
+
+let stats_of_tally ~enumerated ~kept ~relaxed ~relax_attempts counts =
+  let pruned =
+    List.filter_map
+      (fun r ->
+        match counts.(reason_index r) with 0 -> None | n -> Some (r, n))
+      all_reasons
+    |> List.stable_sort (fun (_, a) (_, b) -> Int.compare b a)
+  in
+  let hardware_rejects =
+    List.fold_left
+      (fun acc (r, n) ->
+        if klass_of_reason r = Hardware then acc + n else acc)
+      0 pruned
+  in
+  let performance_rejects =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 pruned - hardware_rejects
+  in
+  {
+    enumerated;
+    kept;
+    pruned;
+    hardware_rejects;
+    performance_rejects;
+    relaxed;
+    relax_attempts;
+  }
+
+let emit_stats_metrics stats =
+  let open Tc_obs in
+  Metrics.add (Metrics.counter "cogent.prune.enumerated")
+    (float_of_int stats.enumerated);
+  Metrics.add (Metrics.counter "cogent.prune.kept") (float_of_int stats.kept);
+  if stats.relaxed then Metrics.incr (Metrics.counter "cogent.prune.relaxed");
+  List.iter
+    (fun (r, n) ->
+      Metrics.add
+        (Metrics.counter ("cogent.prune.rejected." ^ reason_slug r))
+        (float_of_int n))
+    stats.pruned
+
+(* Relaxation ladder (§IV-A2 fallback): performance classes are dropped
+   progressively; hardware constraints never are.  The input-coalescing
+   rules go first: when both input FVIs are internal they are jointly
+   unsatisfiable under Algorithm 2's packing, and the block-count /
+   occupancy rules should survive that case. *)
+let relax_attempts_classes =
+  [
+    [ Hardware; Perf_blocks; Perf_coalescing_out; Perf_coalescing_in ];
+    [ Hardware; Perf_occupancy; Perf_blocks; Perf_coalescing_out ];
+    [ Hardware; Perf_blocks; Perf_coalescing_out ];
+    [ Hardware; Perf_coalescing_out; Perf_coalescing_in ];
+    [ Hardware; Perf_coalescing_out ];
+    [ Hardware ];
+  ]
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -174,7 +296,7 @@ let filter ?(performance = true) arch prec problem mappings =
   Tc_obs.Trace.with_span "prune.filter"
     ~args:[ ("enumerated", Tc_obs.Trace.Int (List.length mappings)) ]
   @@ fun () ->
-  let tally = Hashtbl.create 8 in
+  let tally = Array.make num_reasons 0 in
   let primary = if performance then all_classes else [ Hardware ] in
   let run classes =
     List.filter
@@ -183,8 +305,7 @@ let filter ?(performance = true) arch prec problem mappings =
         | Ok () -> true
         | Error r ->
             if classes == primary then
-              Hashtbl.replace tally r
-                (1 + Option.value ~default:0 (Hashtbl.find_opt tally r));
+              tally.(reason_index r) <- tally.(reason_index r) + 1;
             false)
       mappings
   in
@@ -192,20 +313,6 @@ let filter ?(performance = true) arch prec problem mappings =
   let kept, relaxed, relax_attempts =
     if strict <> [] then (strict, false, 0)
     else
-      (* Relax performance constraints progressively; hardware stays.  The
-         input-coalescing rules go first: when both input FVIs are internal
-         they are jointly unsatisfiable under Algorithm 2's packing, and the
-         block-count/occupancy rules should survive that case. *)
-      let attempts =
-        [
-          [ Hardware; Perf_blocks; Perf_coalescing_out; Perf_coalescing_in ];
-          [ Hardware; Perf_occupancy; Perf_blocks; Perf_coalescing_out ];
-          [ Hardware; Perf_blocks; Perf_coalescing_out ];
-          [ Hardware; Perf_coalescing_out; Perf_coalescing_in ];
-          [ Hardware; Perf_coalescing_out ];
-          [ Hardware ];
-        ]
-      in
       let rec try_relax n = function
         | [] -> ([], true, n)
         | classes :: rest -> (
@@ -213,48 +320,18 @@ let filter ?(performance = true) arch prec problem mappings =
             | [] -> try_relax (n + 1) rest
             | l -> (l, true, n + 1))
       in
-      try_relax 0 attempts
-  in
-  let pruned =
-    Hashtbl.fold (fun r n acc -> (r, n) :: acc) tally []
-    |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
-  in
-  let count_klass k =
-    List.fold_left
-      (fun acc (r, n) -> if klass_of_reason r = k then acc + n else acc)
-      0 pruned
-  in
-  let hardware_rejects = count_klass Hardware in
-  let performance_rejects =
-    List.fold_left (fun acc (_, n) -> acc + n) 0 pruned - hardware_rejects
+      try_relax 0 relax_attempts_classes
   in
   let stats =
-    {
-      enumerated = List.length mappings;
-      kept = List.length kept;
-      pruned;
-      hardware_rejects;
-      performance_rejects;
-      relaxed;
-      relax_attempts;
-    }
+    stats_of_tally ~enumerated:(List.length mappings)
+      ~kept:(List.length kept) ~relaxed ~relax_attempts tally
   in
-  let open Tc_obs in
-  Metrics.add (Metrics.counter "cogent.prune.enumerated")
-    (float_of_int stats.enumerated);
-  Metrics.add (Metrics.counter "cogent.prune.kept") (float_of_int stats.kept);
-  if relaxed then Metrics.incr (Metrics.counter "cogent.prune.relaxed");
-  List.iter
-    (fun (r, n) ->
-      Metrics.add
-        (Metrics.counter ("cogent.prune.rejected." ^ reason_slug r))
-        (float_of_int n))
-    pruned;
-  Trace.add_args
+  emit_stats_metrics stats;
+  Tc_obs.Trace.add_args
     [
-      ("kept", Trace.Int stats.kept);
-      ("hardware_rejects", Trace.Int hardware_rejects);
-      ("performance_rejects", Trace.Int performance_rejects);
-      ("relaxed", Trace.Bool relaxed);
+      ("kept", Tc_obs.Trace.Int stats.kept);
+      ("hardware_rejects", Tc_obs.Trace.Int stats.hardware_rejects);
+      ("performance_rejects", Tc_obs.Trace.Int stats.performance_rejects);
+      ("relaxed", Tc_obs.Trace.Bool relaxed);
     ];
   (kept, stats)

@@ -89,3 +89,70 @@ val filter :
     count, then coalescing); hardware constraints are never relaxed.
     [performance:false] applies hardware constraints only — an ablation
     hook for quantifying what §IV-A2's rules buy. *)
+
+(** {2 Streaming interface}
+
+    The fused planner pipeline ({!Pipeline}) checks candidates one at a
+    time without materializing the enumeration.  A {!checker} hoists
+    everything per-problem out of the hot loop (FVI slots, thresholds,
+    class membership); {!check_stream} then needs only the per-candidate
+    tile lookup and a lazy block count from the caller's shared scratch
+    state. *)
+
+type checker
+(** Per-problem constraint context for one class set. *)
+
+val checker : ?performance:bool -> Arch.t -> Precision.t -> Problem.t -> checker
+(** Checker for the primary pass: all classes, or [Hardware] only when
+    [performance:false] (the ablation hook, as in {!filter}). *)
+
+val checker_of_classes :
+  klass list -> Arch.t -> Precision.t -> Problem.t -> checker
+(** Checker for an explicit class set (the relaxation passes). *)
+
+val check_stream :
+  checker ->
+  threads:int ->
+  smem_elems:int ->
+  reg_elems:int ->
+  tile:(Tc_tensor.Index.t -> int) ->
+  blocks:(unit -> int) ->
+  reason option
+(** First violated constraint of the checker's classes, in the exact rule
+    order of {!check} — [None] means the candidate survives.  The caller
+    supplies the candidate's hoisted size products
+    ([Mapping.threads_per_block] / [smem_elems] / [reg_elems_per_thread] —
+    the streaming pipeline computes them once per candidate in
+    {!Cost.Eval}), a [tile] lookup behaving like [Mapping.tile_of], and a
+    [blocks] thunk behaving like [Mapping.num_blocks] (called at most
+    once, only if the block rule is reached).  Occupancy is computed
+    lazily at most once. *)
+
+val relax_attempts_classes : klass list list
+(** The relaxation ladder {!filter} walks when the strict pass keeps
+    nothing, strongest first and [\[Hardware\]] last — exported so the
+    streaming pipeline degrades identically. *)
+
+val reason_index : reason -> int
+(** Position of a reason in {!all_reasons} — the tally-array slot used by
+    {!stats_of_tally}. *)
+
+val num_reasons : int
+
+val stats_of_tally :
+  enumerated:int ->
+  kept:int ->
+  relaxed:bool ->
+  relax_attempts:int ->
+  int array ->
+  stats
+(** Build {!stats} from a reject tally indexed by {!reason_index}
+    (length {!num_reasons}).  The [pruned] list is rendered canonically:
+    count-descending, declaration order on ties — chunk-wise tallies
+    summed in any grouping produce the identical value a sequential pass
+    would. *)
+
+val emit_stats_metrics : stats -> unit
+(** Emit the [cogent.prune.*] counters for one search — called once per
+    search by whichever path produced the stats (legacy {!filter} or the
+    streaming pipeline), outside any parallel section. *)

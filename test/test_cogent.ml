@@ -223,6 +223,78 @@ let candidates_match_enumerate =
       Candidates.count cands = List.length legacy
       && List.equal Mapping.equal (Candidates.to_list cands) legacy)
 
+(* ---- Streaming pipeline vs the three materialized phases ---- *)
+
+(* The legacy planner hot path, phase by phase, as Driver.generate_one
+   composed it before the fused pipeline: materialize the enumeration,
+   filter, truncate to the search budget, rank everything. *)
+let legacy_search ?budget ~topk arch prec problem =
+  let configs = Enumerate.enumerate problem in
+  let kept, stats = Prune.filter arch prec problem configs in
+  let kept, degraded =
+    match budget with
+    | Some b when List.length kept > max 1 b ->
+        (List.filteri (fun k _ -> k < max 1 b) kept, true)
+    | _ -> (kept, false)
+  in
+  let ranked = Cost.rank prec problem kept in
+  let ranked =
+    match budget with
+    | None -> List.filteri (fun k _ -> k < topk) ranked
+    | Some _ -> ranked
+  in
+  (ranked, stats, degraded)
+
+let ranked_equal a b =
+  List.equal
+    (fun (m, c) (m', c') -> Mapping.equal m m' && Float.equal c c')
+    a b
+
+let test_pipeline_eq1 () =
+  let arch = Arch.v100 and prec = Precision.FP64 in
+  let topk = 8 in
+  let legacy_ranked, legacy_stats, _ = legacy_search ~topk arch prec eq1 in
+  let o = Pipeline.search ~topk arch prec eq1 in
+  check Alcotest.bool "stats equal" true (o.Pipeline.stats = legacy_stats);
+  check Alcotest.bool "top-8 equal" true
+    (ranked_equal o.Pipeline.ranked legacy_ranked);
+  check Alcotest.bool "not degraded" false o.Pipeline.degraded
+
+let test_pipeline_bound_aborts () =
+  let o = Pipeline.search ~topk:8 Arch.v100 Precision.FP64 eq1 in
+  (* Every prune survivor is either bound-aborted or made it into a chunk
+     heap (evictions are neither), so the two tallies stay disjoint. *)
+  check Alcotest.bool "aborts bounded by survivors" true
+    (o.Pipeline.bound_aborted + List.length o.Pipeline.ranked
+    <= o.Pipeline.stats.Prune.kept);
+  (* Eq. 1 keeps ~1000 survivors for a heap of 8: the cost bound must be
+     doing real work. *)
+  check Alcotest.bool "bound aborts happen" true (o.Pipeline.bound_aborted > 0)
+
+let streamed_matches_legacy ?budget () =
+  QCheck.Test.make ~count:40
+    ~name:
+      (match budget with
+      | None -> "streamed pipeline == materialized phases (jobs 1 and 4)"
+      | Some b -> Printf.sprintf "streamed pipeline == budget-%d path" b)
+    Gen.case_arbitrary (fun c ->
+      let problem = c.Gen.problem in
+      let arch = Tc_gpu.Arch.v100 and prec = Tc_gpu.Precision.FP64 in
+      let topk = 8 in
+      let legacy_ranked, legacy_stats, legacy_degraded =
+        legacy_search ?budget ~topk arch prec problem
+      in
+      let at_jobs jobs =
+        Tc_par.Pool.set_default_jobs jobs;
+        let o = Pipeline.search ?budget ~topk arch prec problem in
+        o.Pipeline.stats = legacy_stats
+        && o.Pipeline.degraded = legacy_degraded
+        && ranked_equal o.Pipeline.ranked legacy_ranked
+      in
+      let ok = at_jobs 1 && at_jobs 4 in
+      Tc_par.Pool.set_default_jobs 1;
+      ok)
+
 (* ---- Prune ---- *)
 
 let test_prune_smem_overflow () =
@@ -786,6 +858,15 @@ let () =
           Alcotest.test_case "chunks partition the stream" `Quick
             test_candidates_chunks_partition;
           Gen.to_alcotest candidates_match_enumerate;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "Eq. 1 streamed = legacy" `Quick
+            test_pipeline_eq1;
+          Alcotest.test_case "bound aborts tallied distinctly" `Quick
+            test_pipeline_bound_aborts;
+          Gen.to_alcotest (streamed_matches_legacy ());
+          Gen.to_alcotest (streamed_matches_legacy ~budget:3 ());
         ] );
       ( "prune",
         [
