@@ -22,6 +22,15 @@ let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
 let plan_of problem mapping =
   Cogent.Plan.make ~problem ~mapping ~arch ~precision:prec
 
+(* Studies 1 and 2 sweep *every* surviving configuration (oracle search,
+   rank correlation), which the streaming driver deliberately no longer
+   materializes — so they run the classic enumerate → prune → rank phases
+   directly. *)
+let full_ranking problem =
+  let configs = Cogent.Enumerate.enumerate problem in
+  let kept, _ = Cogent.Prune.filter arch prec problem configs in
+  Cogent.Cost.rank prec problem kept
+
 (* Geomean of a/b over pairs, dropping non-finite ratios so a degenerate
    study cannot poison the JSON report. *)
 let geo pairs =
@@ -67,8 +76,12 @@ let selection () =
     Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
-        let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
-        let model = simulate r.Cogent.Driver.plan in
+        let ranking = full_ranking problem in
+        let model =
+          match ranking with
+          | (m, _) :: _ -> simulate (plan_of problem m)
+          | [] -> nan
+        in
         let refined =
           simulate
             (Cogent.Driver.best_plan ~arch ~precision:prec ~measure:simulate
@@ -77,7 +90,7 @@ let selection () =
         let oracle =
           List.fold_left
             (fun acc (m, _) -> Float.max acc (simulate (plan_of problem m)))
-            0.0 r.Cogent.Driver.ranked
+            0.0 ranking
         in
         (e, model, refined, oracle))
       Tc_tccg.Suite.all
@@ -110,13 +123,13 @@ let correlation () =
     Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
-        let r = Cogent.Driver.generate_exn ~arch ~precision:prec problem in
-        let costs = List.map snd r.Cogent.Driver.ranked in
+        let ranking = full_ranking problem in
+        let costs = List.map snd ranking in
         let times =
           List.map
             (fun (m, _) ->
               (Tc_sim.Simkernel.run (plan_of problem m)).Tc_sim.Simkernel.time_s)
-            r.Cogent.Driver.ranked
+            ranking
         in
         (e, List.length costs, spearman costs times))
       Tc_tccg.Suite.all

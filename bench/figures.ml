@@ -249,10 +249,10 @@ let fig8 () =
 let prunestats () =
   Report.section
     "Search-space pruning across the TCCG suite (§IV-A: ~97% pruned)";
-  Printf.printf "%-8s %-18s %14s %10s %8s %9s %12s %6s %6s\n" "name"
+  Printf.printf "%-8s %-18s %14s %10s %8s %9s %12s %6s %6s %7s\n" "name"
     "contraction" "naive space" "enumerated" "kept" "pruned%" "vs naive" "hw"
-    "perf";
-  Report.hrule 100;
+    "perf" "bound";
+  Report.hrule 108;
   (* Compute on the pool, print in suite order (see tccg_comparison). *)
   let rows =
     Tc_par.Pool.map
@@ -282,6 +282,8 @@ let prunestats () =
                       float_of_int s.Cogent.Prune.hardware_rejects );
                     ( "performance_rejects",
                       float_of_int s.Cogent.Prune.performance_rejects );
+                    ( "bound_aborted",
+                      float_of_int r.Cogent.Driver.bound_aborted );
                   ]);
             ]
         in
@@ -290,10 +292,11 @@ let prunestats () =
   in
   List.iter
     (fun (e, r, s, pruned_pct, vs_naive, _) ->
-      Printf.printf "%-8s %-18s %14.3e %10d %8d %8.1f%% %11.4f%% %6d %6d\n"
+      Printf.printf "%-8s %-18s %14.3e %10d %8d %8.1f%% %11.4f%% %6d %6d %7d\n"
         e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr r.Cogent.Driver.naive_space
         s.Cogent.Prune.enumerated s.Cogent.Prune.kept pruned_pct vs_naive
-        s.Cogent.Prune.hardware_rejects s.Cogent.Prune.performance_rejects)
+        s.Cogent.Prune.hardware_rejects s.Cogent.Prune.performance_rejects
+        r.Cogent.Driver.bound_aborted)
     rows;
   let stats = List.rev_map (fun (_, _, s, _, _, _) -> s) rows in
   let entries = List.map (fun (_, _, _, _, _, entry) -> entry) rows in
@@ -337,4 +340,16 @@ let prunestats () =
     "  %d rejections total; %d/%d entries needed performance-constraint \
      relaxation\n"
     grand relaxed_entries (List.length stats);
+  (* Bound aborts are cost-side, not rule prunes: survivors whose cost
+     evaluation the branch-and-bound pipeline cut short because they
+     provably rank below the retained top-K. *)
+  let bound_total =
+    List.fold_left
+      (fun acc (_, r, _, _, _, _) -> acc + r.Cogent.Driver.bound_aborted)
+      0 rows
+  in
+  Printf.printf
+    "  %d survivors bound-aborted by the streaming cost evaluation (suite \
+     total)\n"
+    bound_total;
   entries

@@ -273,11 +273,17 @@ let plan_cmd =
   let run trace metrics jobs expr sizes entry arch precision budget top =
     harness ?jobs ?metrics trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
-    let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision budget) problem) in
+    let r =
+      or_die_gen
+        (Cogent.Driver.run (mk_ctx arch precision budget) ~topk:top problem)
+    in
     let s = r.Cogent.Driver.prune_stats in
     Format.printf "problem:     %a@." Problem.pp problem;
-    Format.printf "search:      naive space %.3e, enumerated %d, kept %d%s@."
+    Format.printf
+      "search:      naive space %.3e, enumerated %d, kept %d, bound-aborted \
+       %d%s@."
       r.Cogent.Driver.naive_space s.Cogent.Prune.enumerated s.Cogent.Prune.kept
+      r.Cogent.Driver.bound_aborted
       (if r.Cogent.Driver.degraded then " (budget-truncated)" else "");
     Format.printf "selected:    %a@.@." Cogent.Plan.pp r.Cogent.Driver.plan;
     Format.printf "top %d configurations by model cost:@." top;

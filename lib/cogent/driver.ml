@@ -10,6 +10,7 @@ type t = {
   prune_stats : Prune.stats;
   naive_space : float;
   degraded : bool;
+  bound_aborted : int;
 }
 
 type measure = Ctx.measure
@@ -37,7 +38,7 @@ let timed_phase name f =
     (Float.max 0.0 (Sys.time () -. t0));
   r
 
-let generate_one (ctx : Ctx.t) problem =
+let generate_one (ctx : Ctx.t) ~topk problem =
   let arch = ctx.Ctx.arch and precision = ctx.Ctx.precision in
   let open Tc_obs in
   Trace.with_span "driver.generate"
@@ -49,22 +50,34 @@ let generate_one (ctx : Ctx.t) problem =
       ]
   @@ fun () ->
   Metrics.incr (Metrics.counter "cogent.driver.generations");
-  let configs =
-    Trace.with_span "driver.enumerate" (fun () ->
-        timed_phase "enumerate" (fun () -> Enumerate.enumerate problem))
+  (* One streamed pass over the candidate space: enumerate → prune →
+     bound-aborting cost evaluation, fused (see {!Pipeline}).  The search
+     budget keeps the serving layer's worst case bounded: rank only the
+     first [budget] survivors (enumeration order), degrading — at budget
+     0/1 — to the heuristic top-of-enumeration plan. *)
+  let outcome =
+    Trace.with_span "driver.pipeline" (fun () ->
+        let o =
+          timed_phase "pipeline" (fun () ->
+              Pipeline.search ?budget:ctx.Ctx.budget
+                ~topk:(max (max 1 ctx.Ctx.refine) (max 1 topk))
+                arch precision problem)
+        in
+        Trace.add_args
+          [
+            ("enumerated", Trace.Int o.Pipeline.stats.Prune.enumerated);
+            ("kept", Trace.Int o.Pipeline.stats.Prune.kept);
+            ("bound_aborted", Trace.Int o.Pipeline.bound_aborted);
+            ("relaxed", Trace.Bool o.Pipeline.stats.Prune.relaxed);
+          ];
+        o)
   in
-  let kept, prune_stats =
-    timed_phase "prune" (fun () -> Prune.filter arch precision problem configs)
-  in
-  (* The search budget keeps the serving layer's worst case bounded: rank
-     only the first [budget] survivors (enumeration order), degrading — at
-     budget 0/1 — to the heuristic top-of-enumeration plan. *)
-  let kept, degraded =
-    match ctx.Ctx.budget with
-    | Some b when List.length kept > max 1 b ->
-        (List.filteri (fun k _ -> k < max 1 b) kept, true)
-    | _ -> (kept, false)
-  in
+  let prune_stats = outcome.Pipeline.stats in
+  let degraded = outcome.Pipeline.degraded in
+  (* The pipeline itself emits no metrics (its chunk scans run on pool
+     workers); the per-search counters land here, post-merge, on the
+     calling domain — same names the materialized phases used. *)
+  Prune.emit_stats_metrics prune_stats;
   if degraded then
     Metrics.incr (Metrics.counter "cogent.driver.degraded_searches");
   Log.debug (fun m ->
@@ -72,10 +85,7 @@ let generate_one (ctx : Ctx.t) problem =
         prune_stats.Prune.enumerated prune_stats.Prune.kept
         (if prune_stats.Prune.relaxed then " (relaxed)" else "")
         (if degraded then " (budget-truncated)" else ""));
-  match
-    Trace.with_span "driver.cost_rank" (fun () ->
-        timed_phase "cost_rank" (fun () -> Cost.rank precision problem kept))
-  with
+  match outcome.Pipeline.ranked with
   | [] -> Error (No_viable_mapping prune_stats)
   | (top, _) :: _ as ranked ->
       let plan_of mapping = Plan.make ~problem ~mapping ~arch ~precision in
@@ -116,6 +126,7 @@ let generate_one (ctx : Ctx.t) problem =
           ("kept", Trace.Int prune_stats.Prune.kept);
           ("selected_cost", Trace.Float plan.Plan.cost);
           ("degraded", Trace.Bool degraded);
+          ("bound_aborted", Trace.Int outcome.Pipeline.bound_aborted);
         ];
       (* The accuracy observatory's driver-side hook: every selected
          plan's model cost lands in a histogram, so a ledger-less run
@@ -134,16 +145,19 @@ let generate_one (ctx : Ctx.t) problem =
           prune_stats;
           naive_space = Enumerate.naive_space_size problem;
           degraded;
+          bound_aborted = outcome.Pipeline.bound_aborted;
         }
 
-let run ctx ?(auto_split = false) ?trace problem =
+let default_topk = 8
+
+let run ctx ?(auto_split = false) ?(topk = default_topk) ?trace problem =
   let body () =
-    let base = generate_one ctx problem in
+    let base = generate_one ctx ~topk problem in
     if not auto_split then base
     else
       match (Tc_expr.Split.auto problem, ctx.Ctx.measure, base) with
       | (split_problem, _ :: _), Some run, Ok base_t -> (
-          match generate_one ctx split_problem with
+          match generate_one ctx ~topk split_problem with
           | Error _ -> base
           | Ok split_t ->
               if run split_t.plan > run base_t.plan then Ok split_t else base)
@@ -153,8 +167,8 @@ let run ctx ?(auto_split = false) ?trace problem =
   | None -> body ()
   | Some t -> Tc_obs.Trace.with_installed t body
 
-let run_exn ctx ?auto_split ?trace problem =
-  match run ctx ?auto_split ?trace problem with
+let run_exn ctx ?auto_split ?topk ?trace problem =
+  match run ctx ?auto_split ?topk ?trace problem with
   | Ok t -> t
   | Error e -> invalid_arg ("Driver.generate: " ^ error_to_string e)
 

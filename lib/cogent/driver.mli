@@ -1,4 +1,5 @@
-(** End-to-end code generation: enumerate → prune → cost-rank → plan → CUDA.
+(** End-to-end code generation: streamed enumerate→prune→rank ({!Pipeline})
+    → plan → CUDA.
 
     This is the public entry point mirroring the COGENT tool: given a
     contraction (in either concrete syntax), a representative problem size
@@ -14,13 +15,20 @@ open Tc_expr
 type t = {
   plan : Plan.t;  (** the selected configuration (see [Ctx.refine]) *)
   ranked : (Mapping.t * float) list;
-      (** all surviving configurations, ascending model cost *)
+      (** the top-K surviving configurations, ascending model cost, where
+          K = [max ctx.refine topk] (see {!run}); under a {!Ctx.t.budget}
+          the budgeted survivor set instead, ranked in full *)
   prune_stats : Prune.stats;
   naive_space : float;  (** unpruned search-space size (§IV formula) *)
   degraded : bool;
       (** true when a {!Ctx.t.budget} truncated the surviving space before
           ranking, so the selection fell back toward the heuristic
           top-of-enumeration plan *)
+  bound_aborted : int;
+      (** prune survivors whose cost evaluation the streaming pipeline cut
+          short (or discarded unranked) because they provably cost more
+          than the current top-K bound — distinct from rule-based prunes,
+          which are tallied in [prune_stats] *)
 }
 
 type measure = Ctx.measure
@@ -37,8 +45,8 @@ val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
 val run :
-  Ctx.t -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t
-  -> (t, error) result
+  Ctx.t -> ?auto_split:bool -> ?topk:int -> ?trace:Tc_obs.Trace.t
+  -> Problem.t -> (t, error) result
 (** Per the paper's methodology, the model ranks the pruned space and the
     top [ctx.refine] candidates (default 8) are then benchmarked with
     [ctx.measure] to select the final kernel; [refine = 1] gives pure
@@ -47,6 +55,14 @@ val run :
     are cost-ranked (see {!Ctx.t.budget}); a truncated search is flagged
     [degraded].
 
+    The search streams candidates through {!Pipeline.search} rather than
+    materializing the enumeration; [ranked] retains the
+    [max ctx.refine topk] cheapest survivors ([topk] defaults to 8 —
+    raise it when more of the ranking is wanted, e.g. for display).  The
+    retained prefix, [prune_stats] and the selected plan are bit-identical
+    to the materialized enumerate → prune → rank pipeline at any job
+    count.
+
     [auto_split:true] additionally considers the {!Tc_expr.Split.auto}
     rewriting of register-starved contractions (an extension §IV names) and
     keeps whichever variant [ctx.measure] scores higher — splitting is a
@@ -54,13 +70,15 @@ val run :
     applies to the original data unchanged.
 
     [trace] installs the given {!Tc_obs.Trace} context for the duration of
-    the call (restoring any previous one), so every pipeline stage —
-    enumeration, pruning, cost ranking, measured refinement, and anything
-    they call — records spans into it.  Without [trace] (and with no
-    ambient context installed) instrumentation is inert and the result is
-    identical. *)
+    the call (restoring any previous one), so every stage — the fused
+    candidate pipeline ([driver.pipeline]), measured refinement, and
+    anything they call — records spans into it.  Without [trace] (and with
+    no ambient context installed) instrumentation is inert and the result
+    is identical. *)
 
-val run_exn : Ctx.t -> ?auto_split:bool -> ?trace:Tc_obs.Trace.t -> Problem.t -> t
+val run_exn :
+  Ctx.t -> ?auto_split:bool -> ?topk:int -> ?trace:Tc_obs.Trace.t
+  -> Problem.t -> t
 
 val generate :
   ?arch:Tc_gpu.Arch.t -> ?precision:Tc_gpu.Precision.t -> ?refine:int
@@ -85,4 +103,5 @@ val cuda_source : t -> string
 
 val top_plans : ?n:int -> t -> Plan.t list
 (** The [n] (default 5) lowest-cost plans, e.g. to auto-tune among a model-
-    selected shortlist as §VI suggests. *)
+    selected shortlist as §VI suggests — capped by the retained [ranked]
+    prefix (pass [run ~topk] to retain more). *)

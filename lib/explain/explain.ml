@@ -22,22 +22,25 @@ type t = {
 let analyze ?(arch = Arch.v100) ?(precision = Precision.FP64) ?(top = 3)
     problem =
   Tc_obs.Trace.with_span "explain.analyze" @@ fun () ->
-  let configs = Enumerate.enumerate problem in
-  let kept, stats = Prune.filter arch precision problem configs in
-  match Cost.rank precision problem kept with
+  (* The streaming search retains exactly the [top] cheapest survivors —
+     same stats and prefix as the materialized phases it replaced. *)
+  let o = Pipeline.search ~topk:(max 1 top) arch precision problem in
+  let stats = o.Pipeline.stats in
+  match o.Pipeline.ranked with
   | [] -> Error (Driver.No_viable_mapping stats)
   | ranked ->
       let candidates =
-        List.filteri (fun k _ -> k < max 1 top) ranked
-        |> List.mapi (fun k (mapping, _) ->
-               let plan = Plan.make ~problem ~mapping ~arch ~precision in
-               {
-                 rank = k + 1;
-                 plan;
-                 cost = Cost.explain precision problem mapping;
-                 occupancy = Plan.occupancy plan;
-                 sim = Tc_sim.Simkernel.run plan;
-               })
+        List.mapi
+          (fun k (mapping, _) ->
+            let plan = Plan.make ~problem ~mapping ~arch ~precision in
+            {
+              rank = k + 1;
+              plan;
+              cost = Cost.explain precision problem mapping;
+              occupancy = Plan.occupancy plan;
+              sim = Tc_sim.Simkernel.run plan;
+            })
+          ranked
       in
       Ok
         {

@@ -166,6 +166,7 @@ let entry_to_json (r : Cogent.Driver.t) =
       ("prune", stats_to_json r.prune_stats);
       ("naive_space", J.Float r.naive_space);
       ("degraded", J.Bool r.degraded);
+      ("bound_aborted", J.Int r.bound_aborted);
     ]
 
 let entry_of_json j =
@@ -220,7 +221,22 @@ let entry_of_json j =
   let* prune_stats = Result.bind (field "prune" j) stats_of_json in
   let* naive_space = Result.bind (field "naive_space" j) as_float in
   let* degraded = Result.bind (field "degraded" j) as_bool in
-  Ok { Cogent.Driver.plan; ranked; prune_stats; naive_space; degraded }
+  (* Lenient: rows written before the streaming pipeline lack the counter;
+     0 keeps them loadable. *)
+  let* bound_aborted =
+    match field "bound_aborted" j with
+    | Ok v -> as_int v
+    | Error _ -> Ok 0
+  in
+  Ok
+    {
+      Cogent.Driver.plan;
+      ranked;
+      prune_stats;
+      naive_space;
+      degraded;
+      bound_aborted;
+    }
 
 (* ---- store I/O ---- *)
 

@@ -550,7 +550,7 @@ let test_driver_trace () =
     (fun n ->
       check Alcotest.bool (Printf.sprintf "trace has span %S" n) true
         (List.mem n names))
-    [ "driver.generate"; "driver.enumerate"; "prune.filter"; "driver.cost_rank" ];
+    [ "driver.generate"; "driver.pipeline" ];
   (* The whole trace exports as valid Chrome JSON. *)
   match Json.parse (Export.to_chrome (Trace.events t)) with
   | Ok _ -> ()
