@@ -193,9 +193,10 @@ let ttgt_planner () =
     Tc_par.Pool.map
       (fun e ->
         let problem = Tc_tccg.Suite.problem e in
-        let f = (Tc_ttgt.Ttgt.run arch prec problem).Tc_ttgt.Ttgt.gflops in
+        let ctx = Cogent.Ctx.make ~arch ~precision:prec () in
+        let f = (Tc_ttgt.Ttgt.run_ctx ctx problem).Tc_ttgt.Ttgt.gflops in
         let o =
-          (Tc_ttgt.Ttgt.run ~optimize:true arch prec problem).Tc_ttgt.Ttgt.gflops
+          (Tc_ttgt.Ttgt.run_ctx ctx ~optimize:true problem).Tc_ttgt.Ttgt.gflops
         in
         (e, f, o))
       Tc_tccg.Suite.all

@@ -18,8 +18,10 @@ let simulate plan = (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
 let cache = Cogent.Cache.create ()
 
 let cogent_result arch prec problem =
-  Cogent.Cache.find_or_generate cache ~arch ~precision:prec ~measure:simulate
-    problem
+  let ctx = Cogent.Ctx.make ~arch ~precision:prec ~measure:simulate () in
+  match Cogent.Cache.find_or_generate_ctx cache ctx problem with
+  | Ok r -> r
+  | Error e -> invalid_arg (Cogent.Driver.error_to_string e)
 
 let cogent_gflops arch prec problem =
   simulate (cogent_result arch prec problem).Cogent.Driver.plan
@@ -29,7 +31,8 @@ let nwchem_gflops arch prec problem =
   (Tc_sim.Simkernel.run plan).Tc_sim.Simkernel.gflops
 
 let talsh_gflops arch prec problem =
-  (Tc_ttgt.Ttgt.run arch prec problem).Tc_ttgt.Ttgt.gflops
+  (Tc_ttgt.Ttgt.run_ctx (Cogent.Ctx.make ~arch ~precision:prec ()) problem)
+    .Tc_ttgt.Ttgt.gflops
 
 (* ---- report-building helpers ---- *)
 

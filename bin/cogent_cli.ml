@@ -317,7 +317,7 @@ let explain_cmd =
     let problem = or_die (resolve_problem expr sizes entry) in
     let e =
       or_die_gen ~stats_table:true
-        (Tc_explain.Explain.analyze ~arch ~precision ~top problem)
+        (Tc_explain.Explain.analyze (mk_ctx arch precision None) ~top problem)
     in
     if json then
       print_endline (Tc_obs.Json.to_string_pretty (Tc_explain.Explain.to_json e))
@@ -402,7 +402,7 @@ let bench_cmd =
     let cg_sim = Tc_sim.Simkernel.run cg_plan in
     let nw_plan = Tc_nwchem.Nwgen.plan ~arch ~precision problem in
     let nw_sim = Tc_sim.Simkernel.run nw_plan in
-    let ts = Tc_ttgt.Ttgt.run arch precision problem in
+    let ts = Tc_ttgt.Ttgt.run_ctx (mk_ctx arch precision None) problem in
     let cg = cg_sim.Tc_sim.Simkernel.gflops
     and nw = nw_sim.Tc_sim.Simkernel.gflops
     and tsg = ts.Tc_ttgt.Ttgt.gflops in

@@ -32,7 +32,7 @@ let () =
       let cg_sim = Tc_sim.Simkernel.run plan in
       let nw_plan = Tc_nwchem.Nwgen.plan ~arch problem in
       let nw_sim = Tc_sim.Simkernel.run nw_plan in
-      let ts = Tc_ttgt.Ttgt.run arch Precision.FP64 problem in
+      let ts = Tc_ttgt.Ttgt.run_ctx (Cogent.Ctx.make ~arch ()) problem in
       cogent_times := (e.Tc_tccg.Suite.name, cg_sim.Tc_sim.Simkernel.time_s) :: !cogent_times;
       nwchem_times := (e.Tc_tccg.Suite.name, nw_sim.Tc_sim.Simkernel.time_s) :: !nwchem_times;
       talsh_times := (e.Tc_tccg.Suite.name, ts.Tc_ttgt.Ttgt.time_s) :: !talsh_times;

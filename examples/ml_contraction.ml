@@ -38,7 +38,9 @@ let () =
   let e = Option.get (Tc_tccg.Suite.find "ml_1") in
   let problem = Tc_tccg.Suite.problem e in
   let cg = simulate (Cogent.Driver.best_plan ~arch ~measure:simulate problem) in
-  let ts = (Tc_ttgt.Ttgt.run arch Precision.FP64 problem).Tc_ttgt.Ttgt.gflops in
+  let ts =
+    (Tc_ttgt.Ttgt.run_ctx (Cogent.Ctx.make ~arch ()) problem).Tc_ttgt.Ttgt.gflops
+  in
   Format.printf
     "@.at the TCCG size (312^3 x 296): COGENT %.0f GFLOPS, TAL_SH %.0f GFLOPS@."
     cg ts;

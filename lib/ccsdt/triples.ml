@@ -173,7 +173,11 @@ let sweep_estimate arch prec ~nh ~np =
         | `Nwchem ->
             (Tc_sim.Simkernel.run (Tc_nwchem.Nwgen.plan ~arch ~precision:prec p))
               .Tc_sim.Simkernel.time_s
-        | `Ttgt -> (Tc_ttgt.Ttgt.run arch prec p).Tc_ttgt.Ttgt.time_s)
+        | `Ttgt ->
+            (Tc_ttgt.Ttgt.run_ctx
+               (Cogent.Ctx.make ~arch ~precision:prec ())
+               p)
+              .Tc_ttgt.Ttgt.time_s)
       entries
     |> List.fold_left ( +. ) 0.0
   in

@@ -121,13 +121,6 @@ let find_or_generate_ctx t ctx problem =
           resolve None;
           raise e)
 
-let find_or_generate t ?arch ?precision ?measure problem =
-  match
-    find_or_generate_ctx t (Ctx.make ?arch ?precision ?measure ()) problem
-  with
-  | Ok r -> r
-  | Error e -> invalid_arg ("Driver.generate: " ^ Driver.error_to_string e)
-
 let install t k r =
   locked t (fun () ->
       if not (Hashtbl.mem t.table k) then Hashtbl.add t.table k (Ready r))

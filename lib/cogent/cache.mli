@@ -35,13 +35,8 @@ val find_or_generate_ctx : t -> Ctx.t -> Problem.t -> (Driver.t, Driver.error) r
     valid for any extents; only the tile-selection inputs differed.
     Errors are returned, never cached: a later call with the same key
     retries the search.  Callers latched onto another domain's in-flight
-    generation count as hits. *)
-
-val find_or_generate :
-  t -> ?arch:Tc_gpu.Arch.t -> ?precision:Tc_gpu.Precision.t
-  -> ?measure:Driver.measure -> Problem.t -> Driver.t
-(** Deprecated wrapper over {!find_or_generate_ctx}; raises
-    [Invalid_argument] on generation failure (like [Driver.generate_exn]). *)
+    generation count as hits.  (This is the only lookup entry point — the
+    historical optional-argument wrapper is gone; build a {!Ctx.t}.) *)
 
 val install : t -> string -> Driver.t -> unit
 (** Pre-populate an entry under an externally computed {!key} (the

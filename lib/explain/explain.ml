@@ -19,8 +19,8 @@ type t = {
   candidates : candidate list;
 }
 
-let analyze ?(arch = Arch.v100) ?(precision = Precision.FP64) ?(top = 3)
-    problem =
+let analyze (ctx : Ctx.t) ?(top = 3) problem =
+  let arch = ctx.Ctx.arch and precision = ctx.Ctx.precision in
   Tc_obs.Trace.with_span "explain.analyze" @@ fun () ->
   (* The streaming search retains exactly the [top] cheapest survivors —
      same stats and prefix as the materialized phases it replaced. *)

@@ -31,14 +31,14 @@ type t = {
   candidates : candidate list;  (** ascending model cost *)
 }
 
-val analyze :
-  ?arch:Arch.t -> ?precision:Precision.t -> ?top:int -> Problem.t
-  -> (t, Driver.error) result
-(** Enumerate, prune, rank, and explain the [top] (default 3) candidates.
-    Defaults mirror {!Cogent.Driver.generate}: V100, FP64.  [Error] is
-    [Driver.No_viable_mapping stats] when no hardware-feasible
-    configuration exists — the stats carry the per-rule pruning audit so
-    callers can print {i why} (see [cogent explain]). *)
+val analyze : Ctx.t -> ?top:int -> Problem.t -> (t, Driver.error) result
+(** Run the streaming configuration search under the context's device and
+    precision and explain the [top] (default 3) candidates
+    ({!Cogent.Ctx.default} is V100/FP64 — the historical optional-argument
+    entry point is gone).  [Error] is [Driver.No_viable_mapping stats]
+    when no hardware-feasible configuration exists — the stats carry the
+    per-rule pruning audit so callers can print {i why} (see
+    [cogent explain]). *)
 
 val render : t -> string
 (** The full human-readable report (what [cogent explain] prints). *)

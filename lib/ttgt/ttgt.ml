@@ -216,18 +216,16 @@ let plan_ctx (ctx : Cogent.Ctx.t) ?(optimize = false) problem =
     | Some (t, _) -> t
     | None -> invalid_arg "Ttgt.plan: no candidates (unreachable)"
 
-let plan ?optimize problem = plan_ctx Cogent.Ctx.default ?optimize problem
-
 let run_ctx (ctx : Cogent.Ctx.t) ?optimize problem =
   estimate ctx.Cogent.Ctx.arch ctx.Cogent.Ctx.precision
     (plan_ctx ctx ?optimize problem)
 
-let run ?optimize arch prec problem = estimate arch prec (plan ?optimize problem)
-
 let execute ?optimize problem ~lhs ~rhs =
   let info = Problem.info problem in
   let a, b = if info.Classify.swapped then (rhs, lhs) else (lhs, rhs) in
-  let t = plan ?optimize problem in
+  (* The optimized variant choice is device-independent in practice, so
+     the functional path plans under the default context. *)
+  let t = plan_ctx Cogent.Ctx.default ?optimize problem in
   (* Functionally we always materialize the canonical M@K / K@N / M@N
      forms; the *model* only charges for the permutes the plan records. *)
   let ta = Permute.permute ~dst_indices:(t.m_order @ t.k_order) a in

@@ -38,10 +38,6 @@ val plan_ctx : Cogent.Ctx.t -> ?optimize:bool -> Problem.t -> t
     searched for the cheapest-permutation variant under the context's
     device and precision movement model. *)
 
-val plan : ?optimize:bool -> Problem.t -> t
-(** {!plan_ctx} under {!Cogent.Ctx.default} (V100/FP64 — the historical
-    behaviour; the optimized choice is device-independent in practice). *)
-
 type estimate = {
   time_s : float;
   gflops : float;
@@ -56,15 +52,15 @@ val estimate : Arch.t -> Precision.t -> t -> estimate
 
 val run_ctx : Cogent.Ctx.t -> ?optimize:bool -> Problem.t -> estimate
 (** [plan_ctx] + [estimate] on the context's device/precision — the TTGT
-    side of the serving layer's dispatch comparison. *)
-
-val run : ?optimize:bool -> Arch.t -> Precision.t -> Problem.t -> estimate
-(** [plan] + [estimate]. *)
+    side of the serving layer's dispatch comparison.  (The historical
+    optional-argument [plan]/[run] wrappers are gone; build a
+    {!Cogent.Ctx.t} — {!Cogent.Ctx.default} is V100/FP64.) *)
 
 val execute : ?optimize:bool -> Problem.t -> lhs:Dense.t -> rhs:Dense.t -> Dense.t
 (** Functional execution of the TTGT pipeline (permute, GEMM, permute) on
-    host tensors; used to validate the lowering against the direct
-    reference contraction. *)
+    host tensors (planned under {!Cogent.Ctx.default} — the variant choice
+    is device-independent); used to validate the lowering against the
+    direct reference contraction. *)
 
 val emit_cuda : Precision.t -> t -> string
 (** CUDA source for the pipeline: one {!Transpose_gen} kernel (plus

@@ -784,11 +784,11 @@ let driver_succeeds_on_generated =
 let test_cache_hits_and_misses () =
   let cache = Cache.create () in
   let p1 = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
-  let _ = Cache.find_or_generate cache p1 in
-  let _ = Cache.find_or_generate cache p1 in
+  let _ = Cache.find_or_generate_ctx cache Ctx.default p1 in
+  let _ = Cache.find_or_generate_ctx cache Ctx.default p1 in
   (* 60 rounds to the same power-of-two class as 64 *)
   let near = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 60); ('b', 60); ('c', 60) ] in
-  let _ = Cache.find_or_generate cache near in
+  let _ = Cache.find_or_generate_ctx cache Ctx.default near in
   let s = Cache.stats cache in
   check Alcotest.int "one entry" 1 s.Cache.entries;
   check Alcotest.int "two hits" 2 s.Cache.hits;
@@ -799,11 +799,14 @@ let test_cache_discriminates () =
   let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
   let far = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 512); ('b', 512); ('c', 512) ] in
   let other_layout = Problem.of_string_exn "ab-ca-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
-  ignore (Cache.find_or_generate cache p);
-  ignore (Cache.find_or_generate cache far);
-  ignore (Cache.find_or_generate cache other_layout);
-  ignore (Cache.find_or_generate cache ~precision:Precision.FP32 p);
-  ignore (Cache.find_or_generate cache ~arch:Arch.p100 p);
+  ignore (Cache.find_or_generate_ctx cache Ctx.default p);
+  ignore (Cache.find_or_generate_ctx cache Ctx.default far);
+  ignore (Cache.find_or_generate_ctx cache Ctx.default other_layout);
+  ignore
+    (Cache.find_or_generate_ctx cache
+       (Ctx.make ~precision:Precision.FP32 ())
+       p);
+  ignore (Cache.find_or_generate_ctx cache (Ctx.make ~arch:Arch.p100 ()) p);
   check Alcotest.int "five distinct entries" 5 (Cache.stats cache).Cache.entries
 
 let test_cache_size_class () =
@@ -814,7 +817,7 @@ let test_cache_size_class () =
 let test_cache_clear () =
   let cache = Cache.create () in
   let p = Problem.of_string_exn "ab-ac-cb" ~sizes:[ ('a', 64); ('b', 64); ('c', 64) ] in
-  ignore (Cache.find_or_generate cache p);
+  ignore (Cache.find_or_generate_ctx cache Ctx.default p);
   Cache.clear cache;
   check Alcotest.int "empty" 0 (Cache.stats cache).Cache.entries;
   check Alcotest.int "counters reset" 0 (Cache.stats cache).Cache.hits

@@ -60,7 +60,9 @@ let test_ccsdt_ordering_claim () =
     (fun arch ->
       let cg = simulate (Cogent.Driver.best_plan ~arch ~measure:simulate p) in
       let nw = simulate (Tc_nwchem.Nwgen.plan ~arch p) in
-      let ts = (Tc_ttgt.Ttgt.run arch Precision.FP64 p).Tc_ttgt.Ttgt.gflops in
+      let ts =
+        (Tc_ttgt.Ttgt.run_ctx (Cogent.Ctx.make ~arch ()) p).Tc_ttgt.Ttgt.gflops
+      in
       if not (cg >= nw && nw > ts) then
         fail
           (Printf.sprintf "%s: COGENT %.0f, NWChem %.0f, TAL_SH %.0f"
@@ -73,7 +75,7 @@ let test_sd1_talsh_transpose_bound () =
   let p =
     Tc_tccg.Suite.problem (Option.get (Tc_tccg.Suite.find "sd1_1"))
   in
-  let e = Tc_ttgt.Ttgt.run Arch.v100 Precision.FP64 p in
+  let e = Tc_ttgt.Ttgt.run_ctx Cogent.Ctx.default p in
   check Alcotest.bool "transposes dominate GEMM" true
     (e.Tc_ttgt.Ttgt.transpose_time_s > e.Tc_ttgt.Ttgt.gemm_time_s)
 
@@ -81,7 +83,7 @@ let test_ccsd_4d_talsh_strong () =
   (* §V: on 4D = 4D * 4D contractions the transposition time is very much
      lower than compute, so TAL_SH is competitive *)
   let p = Tc_tccg.Suite.problem (Option.get (Tc_tccg.Suite.find "ccsd_9")) in
-  let e = Tc_ttgt.Ttgt.run Arch.v100 Precision.FP64 p in
+  let e = Tc_ttgt.Ttgt.run_ctx Cogent.Ctx.default p in
   check Alcotest.bool "transpose << gemm" true
     (e.Tc_ttgt.Ttgt.transpose_time_s < 0.25 *. e.Tc_ttgt.Ttgt.gemm_time_s);
   let cg =

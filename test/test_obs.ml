@@ -581,7 +581,7 @@ let read_golden file =
   s
 
 let test_explain_golden () =
-  match Tc_explain.Explain.analyze eq1 with
+  match Tc_explain.Explain.analyze Cogent.Ctx.default eq1 with
   | Error e -> fail (Cogent.Driver.error_to_string e)
   | Ok report ->
       check Alcotest.string "golden explain report"
@@ -589,7 +589,7 @@ let test_explain_golden () =
         (Tc_explain.Explain.render report)
 
 let test_explain_json () =
-  match Tc_explain.Explain.analyze ~top:1 eq1 with
+  match Tc_explain.Explain.analyze Cogent.Ctx.default ~top:1 eq1 with
   | Error e -> fail (Cogent.Driver.error_to_string e)
   | Ok report -> (
       let j = Tc_explain.Explain.to_json report in

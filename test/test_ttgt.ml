@@ -83,7 +83,7 @@ let test_plan_eq1_dimensions () =
     Problem.of_string_exn "abcd-aebf-dfce"
       ~sizes:[ ('a', 8); ('b', 7); ('c', 6); ('d', 5); ('e', 4); ('f', 3) ]
   in
-  let t = Ttgt.plan p in
+  let t = Ttgt.plan_ctx Cogent.Ctx.default p in
   check Alcotest.int "m = Na*Nb" (8 * 7) t.Ttgt.m;
   check Alcotest.int "n = Nd*Nc" (5 * 6) t.Ttgt.n;
   check Alcotest.int "k = Ne*Nf" (4 * 3) t.Ttgt.k
@@ -95,12 +95,12 @@ let test_plan_gemm_compatible_no_permutes () =
     Problem.of_string_exn "abcd-efab-cdef"
       ~sizes:[ ('a', 4); ('b', 4); ('c', 4); ('d', 4); ('e', 4); ('f', 4) ]
   in
-  let t = Ttgt.plan p in
+  let t = Ttgt.plan_ctx Cogent.Ctx.default p in
   check Alcotest.int "no permutes" 0 (List.length t.Ttgt.permutes)
 
 let test_plan_faithful_always_permutes_output_when_needed () =
   let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
-  let t = Ttgt.plan p in
+  let t = Ttgt.plan_ctx Cogent.Ctx.default p in
   check Alcotest.bool "has a C permute" true
     (List.exists (fun s -> s.Ttgt.operand = "C") t.Ttgt.permutes)
 
@@ -108,9 +108,13 @@ let test_optimized_plan_not_worse () =
   List.iter
     (fun expr ->
       let p = Problem.of_string_exn expr ~sizes:sizes6 in
-      let faithful = Ttgt.estimate Arch.v100 Precision.FP64 (Ttgt.plan p) in
+      let faithful =
+        Ttgt.estimate Arch.v100 Precision.FP64
+          (Ttgt.plan_ctx Cogent.Ctx.default p)
+      in
       let optimized =
-        Ttgt.estimate Arch.v100 Precision.FP64 (Ttgt.plan ~optimize:true p)
+        Ttgt.estimate Arch.v100 Precision.FP64
+          (Ttgt.plan_ctx Cogent.Ctx.default ~optimize:true p)
       in
       check Alcotest.bool
         (Printf.sprintf "optimize does not hurt on %s" expr)
@@ -120,7 +124,7 @@ let test_optimized_plan_not_worse () =
 
 let test_estimate_components () =
   let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
-  let e = Ttgt.run Arch.v100 Precision.FP64 p in
+  let e = Ttgt.run_ctx Cogent.Ctx.default p in
   check Alcotest.bool "time >= gemm + transposes" true
     (e.Ttgt.time_s >= e.Ttgt.gemm_time_s +. e.Ttgt.transpose_time_s);
   check Alcotest.bool "positive gflops" true (e.Ttgt.gflops > 0.0)
@@ -204,7 +208,7 @@ let test_transpose_gen_kernels_compile () =
 
 let test_emit_cuda_pipeline () =
   let p = Problem.of_string_exn "abcd-aebf-dfce" ~sizes:sizes6 in
-  let t = Ttgt.plan p in
+  let t = Ttgt.plan_ctx Cogent.Ctx.default p in
   let src = Ttgt.emit_cuda Precision.FP64 t in
   let has needle =
     let ln = String.length needle and ls = String.length src in
