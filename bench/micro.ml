@@ -40,6 +40,15 @@ let staged_tests =
     fun () ->
       ignore (Cogent.Cost.rank Tc_gpu.Precision.FP64 problem configs)
   in
+  let candidates problem () =
+    let c = Cogent.Candidates.create problem in
+    Cogent.Candidates.iter c ignore
+  in
+  let pipeline problem () =
+    ignore
+      (Cogent.Pipeline.search ~topk:8 Tc_gpu.Arch.v100 Tc_gpu.Precision.FP64
+         problem)
+  in
   let codegen problem =
     let plan = Cogent.Driver.best_plan problem in
     fun () -> ignore (Cogent.Codegen.emit plan)
@@ -65,6 +74,13 @@ let staged_tests =
     Test.make ~name:"enumerate/sd2_1" (Staged.stage (enumerate problem_sd2));
     Test.make ~name:"prune/eq1" (Staged.stage (prune problem_eq1));
     Test.make ~name:"cost-rank/eq1" (Staged.stage (cost problem_eq1));
+    Test.make ~name:"candidates-stream/eq1"
+      (Staged.stage (candidates problem_eq1));
+    Test.make ~name:"candidates-stream/sd2_1"
+      (Staged.stage (candidates problem_sd2));
+    Test.make ~name:"pipeline-search/eq1" (Staged.stage (pipeline problem_eq1));
+    Test.make ~name:"pipeline-search/sd2_1"
+      (Staged.stage (pipeline problem_sd2));
     Test.make ~name:"codegen-emit/eq1" (Staged.stage (codegen problem_eq1));
     Test.make ~name:"codegen-emit/sd2_1" (Staged.stage (codegen problem_sd2));
     Test.make ~name:"simulate/sd2_1" (Staged.stage (simulate problem_sd2));
@@ -74,16 +90,72 @@ let staged_tests =
     Test.make ~name:"generate-end-to-end/sd2_1" (Staged.stage (full problem_sd2));
   ]
 
-(* Stage timings are machine-dependent, so micro entries are reported in
-   BENCH_micro.json for trend-watching but the "ns_per_call" metric carries
-   no tolerance and the target is excluded from baselines (see main.ml). *)
+(* Stage timings are machine-dependent, so the "ns_per_call" and
+   "candidates_per_s" metrics carry no gate tolerance (un-tolerated metrics
+   are trend-watched but never judged, see Benchrep.diff).  The target IS
+   in the baseline: the gate still trips if a micro entry disappears, and
+   the deterministic branch-and-bound counters below are held to zero
+   drift — the planner-throughput tripwire. *)
+let candidate_count problem =
+  Cogent.Candidates.count (Cogent.Candidates.create problem)
+
+let count_eq1 = candidate_count problem_eq1
+let count_sd2 = candidate_count problem_sd2
+
+(* Derived producer throughput: the staged function yields every candidate
+   once per call, so rate = count / time-per-call. *)
+let extra_metrics name t =
+  let rate n =
+    Figures.finite "candidates_per_s" (float_of_int n /. (t *. 1e-9))
+  in
+  match name with
+  | "candidates-stream/eq1" -> rate count_eq1
+  | "candidates-stream/sd2_1" -> rate count_sd2
+  | _ -> []
+
 let stage_entry name t =
   {
     Tc_profile.Benchrep.name;
     expr = "";
     arch = "host";
     precision = "n/a";
-    strategies = [ Figures.strat "bechamel" (Figures.finite "ns_per_call" t) ];
+    strategies =
+      [
+        Figures.strat "bechamel"
+          (Figures.finite "ns_per_call" t @ extra_metrics name t);
+      ];
+  }
+
+(* Deterministic counters of the fused pipeline on the same entries the
+   timings above stream: exact at any job count, so the regression gate
+   holds them to zero drift (Benchrep.default_tolerances gates
+   enumerated/kept/bound_aborted/bound_abort_rate as Exact). *)
+let search_entry suite_name problem =
+  let o =
+    Cogent.Pipeline.search ~topk:8 Tc_gpu.Arch.v100 Tc_gpu.Precision.FP64
+      problem
+  in
+  let enumerated = o.Cogent.Pipeline.stats.Cogent.Prune.enumerated
+  and kept = o.Cogent.Pipeline.stats.Cogent.Prune.kept in
+  {
+    Tc_profile.Benchrep.name = "pipeline-counters/" ^ suite_name;
+    expr = "";
+    arch = "v100";
+    precision = "fp64";
+    strategies =
+      [
+        Figures.strat "search"
+          [
+            ("enumerated", float_of_int enumerated);
+            ("kept", float_of_int kept);
+            ("bound_aborted", float_of_int o.Cogent.Pipeline.bound_aborted);
+            ( "bound_abort_rate",
+              if kept = 0 then 0.0
+              else
+                float_of_int o.Cogent.Pipeline.bound_aborted
+                /. float_of_int kept );
+          ];
+      ];
   }
 
 let run () =
@@ -120,3 +192,4 @@ let run () =
         results)
     staged_tests;
   List.rev !entries
+  @ [ search_entry "eq1" problem_eq1; search_entry "sd2_1" problem_sd2 ]

@@ -181,6 +181,8 @@ let default_tolerances =
     { metric = "cost"; rel = 0.0; direction = Lower_better };
     { metric = "enumerated"; rel = 0.0; direction = Exact };
     { metric = "kept"; rel = 0.0; direction = Exact };
+    { metric = "bound_aborted"; rel = 0.0; direction = Exact };
+    { metric = "bound_abort_rate"; rel = 0.0; direction = Exact };
   ]
 
 type verdict = Regression | Improvement | Within | Missing | Added

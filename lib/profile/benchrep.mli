@@ -74,8 +74,8 @@ type tolerance = { metric : string; rel : float; direction : direction }
 
 val default_tolerances : tolerance list
 (** [gflops] 2% higher-better; [transactions] and [cost] lower-better
-    with zero allowance; [enumerated]/[kept] exact.  Unlisted metrics
-    never gate. *)
+    with zero allowance; [enumerated]/[kept]/[bound_aborted]/
+    [bound_abort_rate] exact.  Unlisted metrics never gate. *)
 
 type verdict =
   | Regression  (** drifted past tolerance in the harmful direction *)
