@@ -247,6 +247,88 @@ let fig8 () =
       ];
   ]
 
+(* ---- Schema study: classic vs software-pipelined on A100, fp16 ---- *)
+
+let schemas () =
+  Report.section
+    "Schema study — TCCG benchmark on A100 (half precision, GFLOPS): classic \
+     synchronous ladder vs software-pipelined (cp.async / MMA)";
+  let arch = Arch.a100 and prec = Precision.FP16 in
+  Printf.printf "%-3s %-8s %-18s %9s %9s %8s  %s\n" "#" "name" "contraction"
+    "classic" "pipelined" "speedup" "chosen schema";
+  Report.hrule 78;
+  (* Compute on the pool, print in suite order (see tccg_comparison). *)
+  let rows =
+    Tc_par.Pool.map
+      (fun e ->
+        let problem = Tc_tccg.Suite.problem e in
+        let plan = (cogent_result arch prec problem).Cogent.Driver.plan in
+        let classic_plan = Cogent.Plan.with_schema Schema.Classic plan in
+        let classic = simulate classic_plan in
+        (* fastest feasible pipelined variant of the chosen mapping *)
+        let piped =
+          List.filter Schema.pipelined
+            (Cogent.Plan.feasible_schemas ~arch ~precision:prec
+               plan.Cogent.Plan.mapping)
+          |> List.fold_left
+               (fun best sc ->
+                 let p = Cogent.Plan.with_schema sc plan in
+                 let g = simulate p in
+                 match best with
+                 | Some (_, bg) when bg >= g -> best
+                 | _ -> Some (p, g))
+               None
+        in
+        let entry =
+          bench_entry ~name:e.Tc_tccg.Suite.name ~expr:e.Tc_tccg.Suite.expr
+            arch prec
+            ([ plan_strategy "classic" classic_plan ]
+            @ (match piped with
+              | None -> []
+              | Some (p, g) ->
+                  [
+                    strat "pipelined"
+                      ~config:(Schema.to_string p.Cogent.Plan.schema)
+                      (finite "gflops" g @ finite "speedup" (g /. classic));
+                  ])
+            @ [
+                strat "chosen"
+                  ~config:(Schema.to_string plan.Cogent.Plan.schema)
+                  (finite "gflops" (simulate plan));
+              ])
+        in
+        (e, plan, classic, piped, entry))
+      Tc_tccg.Suite.all
+  in
+  List.iter
+    (fun (e, plan, classic, piped, _) ->
+      let pg, speedup =
+        match piped with
+        | Some (_, g) -> (Printf.sprintf "%9.0f" g, Printf.sprintf "%7.2fx" (g /. classic))
+        | None -> ((Printf.sprintf "%9s" "-"), Printf.sprintf "%8s" "-")
+      in
+      Printf.printf "%-3d %-8s %-18s %9.0f %s %s  %s\n" e.Tc_tccg.Suite.id
+        e.Tc_tccg.Suite.name e.Tc_tccg.Suite.expr classic pg speedup
+        (Schema.to_string plan.Cogent.Plan.schema))
+    rows;
+  print_newline ();
+  let chosen_pipelined =
+    List.length
+      (List.filter
+         (fun (_, plan, _, _, _) -> Schema.pipelined plan.Cogent.Plan.schema)
+         rows)
+  in
+  Report.speedup_summary ~name:"pipelined" ~base:"classic"
+    (List.filter_map
+       (fun (_, _, classic, piped, _) ->
+         Option.map (fun (_, g) -> (g, classic)) piped)
+       rows);
+  Printf.printf
+    "pipelined schema chosen on %d/%d entries (classic wins ties and \
+     memory-bound contractions)\n"
+    chosen_pipelined (List.length rows);
+  List.map (fun (_, _, _, _, entry) -> entry) rows
+
 (* ---- §IV-A3: pruning statistics ---- *)
 
 let prunestats () =

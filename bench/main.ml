@@ -27,6 +27,7 @@ let targets =
     ("fig6", Figures.fig6);
     ("fig7", Figures.fig7);
     ("fig8", Figures.fig8);
+    ("schemas", Figures.schemas);
     ("prunestats", Figures.prunestats);
     ("ablation", Ablation.run);
     ("serve", Serve_bench.run);

@@ -53,6 +53,27 @@ let staged_tests =
     let plan = Cogent.Driver.best_plan problem in
     fun () -> ignore (Cogent.Codegen.emit plan)
   in
+  (* The double-buffered lowering restructures the K-loop (prologue +
+     rotation), so its lower/emit cost is tracked separately from the
+     classic schema's. *)
+  let pipelined problem =
+    match
+      Cogent.Driver.run
+        (Cogent.Ctx.make ~arch:Tc_gpu.Arch.a100
+           ~schema:Tc_gpu.Schema.Pipelined ())
+        problem
+    with
+    | Ok t -> t.Cogent.Driver.plan
+    | Error e -> failwith (Cogent.Driver.error_to_string e)
+  in
+  let lower_pipelined problem =
+    let plan = pipelined problem in
+    fun () -> ignore (Cogent.Codegen.lower plan)
+  in
+  let emit_pipelined problem =
+    let plan = pipelined problem in
+    fun () -> ignore (Cogent.Codegen.emit plan)
+  in
   let simulate problem =
     let plan = Cogent.Driver.best_plan problem in
     fun () -> ignore (Tc_sim.Simkernel.run plan)
@@ -83,6 +104,14 @@ let staged_tests =
       (Staged.stage (pipeline problem_sd2));
     Test.make ~name:"codegen-emit/eq1" (Staged.stage (codegen problem_eq1));
     Test.make ~name:"codegen-emit/sd2_1" (Staged.stage (codegen problem_sd2));
+    Test.make ~name:"lower-pipelined/eq1"
+      (Staged.stage (lower_pipelined problem_eq1));
+    Test.make ~name:"lower-pipelined/sd2_1"
+      (Staged.stage (lower_pipelined problem_sd2));
+    Test.make ~name:"emit-pipelined/eq1"
+      (Staged.stage (emit_pipelined problem_eq1));
+    Test.make ~name:"emit-pipelined/sd2_1"
+      (Staged.stage (emit_pipelined problem_sd2));
     Test.make ~name:"simulate/sd2_1" (Staged.stage (simulate problem_sd2));
     Test.make ~name:"interp-execute/gemm64" (Staged.stage interp_execute);
     Test.make ~name:"contract-ref/gemm64" (Staged.stage contract_ref);

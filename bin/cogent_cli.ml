@@ -69,22 +69,47 @@ let arch_arg =
   let parse s =
     match Arch.by_name s with
     | Some a -> Ok a
-    | None -> Error (`Msg (Printf.sprintf "unknown device %S (p100|v100|a100)" s))
+    | None ->
+        Error
+          (`Msg (Printf.sprintf "unknown device %S (p100|v100|a100|h100)" s))
   in
   let print fmt (a : Arch.t) = Format.pp_print_string fmt a.Arch.name in
   let arch_conv = Arg.conv (parse, print) in
   Arg.(value & opt arch_conv Arch.v100 & info [ "arch" ] ~docv:"DEVICE"
-         ~doc:"Target device: p100, v100 or a100.")
+         ~doc:"Target device: p100, v100, a100 or h100.")
 
 let precision_arg =
   let parse = function
     | "fp64" | "double" -> Ok Precision.FP64
     | "fp32" | "float" | "single" -> Ok Precision.FP32
-    | s -> Error (`Msg (Printf.sprintf "unknown precision %S (fp32|fp64)" s))
+    | "fp16" | "half" -> Ok Precision.FP16
+    | "tf32" -> Ok Precision.TF32
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "unknown precision %S (fp16|tf32|fp32|fp64)" s))
   in
   let prec_conv = Arg.conv (parse, fun fmt p -> Precision.pp fmt p) in
   Arg.(value & opt prec_conv Precision.FP64 & info [ "precision" ] ~docv:"PREC"
-         ~doc:"Floating-point precision: fp32 or fp64.")
+         ~doc:"Floating-point precision: fp16, tf32, fp32 or fp64.")
+
+let schema_arg =
+  let parse s =
+    match Schema.of_string s with
+    | Some sc -> Ok sc
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown schema %S (classic|pipelined|pipelined-mma)" s))
+  in
+  let schema_conv = Arg.conv (parse, Schema.pp) in
+  Arg.(value & opt (some schema_conv) None & info [ "schema" ] ~docv:"SCHEMA"
+         ~doc:"Kernel schema: classic (the synchronous ladder of Algorithm \
+               1), pipelined (double-buffered SMEM with async-copy \
+               prefetch), or pipelined-mma (pipelined with tensor-core \
+               compute; fp16/tf32 only).  By default the driver races every \
+               schema feasible on the target device and keeps the predicted \
+               fastest.")
 
 let output_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -120,8 +145,8 @@ let budget_arg =
 (* The shared front door: every generation subcommand folds its --arch,
    --precision and --budget into one [Cogent.Ctx.t] (the simulator is the
    measure — this repo's stand-in for timed runs on real hardware). *)
-let mk_ctx ?jobs arch precision budget =
-  Cogent.Ctx.make ~arch ~precision ~measure:simulate ?jobs ?budget ()
+let mk_ctx ?jobs ?schema arch precision budget =
+  Cogent.Ctx.make ~arch ~precision ?schema ~measure:simulate ?jobs ?budget ()
 
 let resolve_problem expr sizes entry =
   match (entry, expr, sizes) with
@@ -155,9 +180,14 @@ let or_die_gen ?(stats_table = false) = function
          match e with
          | Cogent.Driver.No_viable_mapping s ->
              Format.eprintf "%a@." Cogent.Prune.pp_stats s
-         | Cogent.Driver.Bad_problem _ -> ());
+         | Cogent.Driver.Bad_problem _ | Cogent.Driver.Infeasible_schema _ ->
+             ());
       Format.eprintf "cogent: %a@." Cogent.Driver.pp_error e;
-      exit 2
+      (* An infeasible forced schema is a usage error (bad flag for this
+         problem/device), not a search failure — exit 1, like flag parse
+         errors. *)
+      exit
+        (match e with Cogent.Driver.Infeasible_schema _ -> 1 | _ -> 2)
 
 (* Run the body of a subcommand with error hardening (failures land on
    stderr with a nonzero exit, never a backtrace), the requested
@@ -209,11 +239,14 @@ let harness ?jobs ?metrics trace f =
 (* ---- gen ---- *)
 
 let gen_cmd =
-  let run trace metrics jobs expr sizes entry arch precision budget output
-      standalone opencl dialect =
+  let run trace metrics jobs expr sizes entry arch precision schema budget
+      output standalone opencl dialect =
     harness ?jobs ?metrics trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
-    let r = or_die_gen (Cogent.Driver.run (mk_ctx arch precision budget) problem) in
+    let r =
+      or_die_gen
+        (Cogent.Driver.run (mk_ctx ?schema arch precision budget) problem)
+    in
     let dialect = if opencl then Cogent.Codegen.Opencl else dialect in
     let plan = r.Cogent.Driver.plan in
     let src =
@@ -264,18 +297,20 @@ let gen_cmd =
     (Cmd.info "gen" ~version
        ~doc:"Generate CUDA, OpenCL or host-C for a tensor contraction")
     Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ expr_arg
-          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ budget_arg
-          $ output_arg $ standalone $ opencl $ dialect)
+          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ schema_arg
+          $ budget_arg $ output_arg $ standalone $ opencl $ dialect)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run trace metrics jobs expr sizes entry arch precision budget top =
+  let run trace metrics jobs expr sizes entry arch precision schema budget top
+      =
     harness ?jobs ?metrics trace @@ fun () ->
     let problem = or_die (resolve_problem expr sizes entry) in
     let r =
       or_die_gen
-        (Cogent.Driver.run (mk_ctx arch precision budget) ~topk:top problem)
+        (Cogent.Driver.run (mk_ctx ?schema arch precision budget) ~topk:top
+           problem)
     in
     let s = r.Cogent.Driver.prune_stats in
     Format.printf "problem:     %a@." Problem.pp problem;
@@ -285,7 +320,35 @@ let plan_cmd =
       r.Cogent.Driver.naive_space s.Cogent.Prune.enumerated s.Cogent.Prune.kept
       r.Cogent.Driver.bound_aborted
       (if r.Cogent.Driver.degraded then " (budget-truncated)" else "");
-    Format.printf "selected:    %a@.@." Cogent.Plan.pp r.Cogent.Driver.plan;
+    let plan = r.Cogent.Driver.plan in
+    (* Predicted overlap saving: the same configuration re-priced under the
+       classic schema (and under the best pipelined one when classic won the
+       race but a pipelined schema was feasible). *)
+    let sim_schema sc = simulate (Cogent.Plan.with_schema sc plan) in
+    (match plan.Cogent.Plan.schema with
+    | Schema.Classic -> (
+        let pipelined =
+          List.filter Schema.pipelined
+            (Cogent.Plan.feasible_schemas ~arch ~precision
+               plan.Cogent.Plan.mapping)
+        in
+        match pipelined with
+        | [] -> Format.printf "schema:      classic@."
+        | scs ->
+            let best =
+              List.fold_left
+                (fun acc sc -> Float.max acc (sim_schema sc))
+                0.0 scs
+            in
+            Format.printf
+              "schema:      classic (pipelined predicted %.2fx, not taken)@."
+              (best /. simulate plan))
+    | sc ->
+        Format.printf
+          "schema:      %s (predicted %.2fx over classic staging)@."
+          (Schema.to_string sc)
+          (simulate plan /. sim_schema Schema.Classic));
+    Format.printf "selected:    %a@.@." Cogent.Plan.pp plan;
     Format.printf "top %d configurations by model cost:@." top;
     List.iteri
       (fun k (m, cost) ->
@@ -305,8 +368,8 @@ let plan_cmd =
     (Cmd.info "plan" ~version
        ~doc:"Inspect the configuration search for a contraction")
     Term.(const run $ trace_arg $ metrics_arg $ jobs_arg $ expr_arg
-          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ budget_arg
-          $ top)
+          $ sizes_arg $ entry_arg $ arch_arg $ precision_arg $ schema_arg
+          $ budget_arg $ top)
 
 (* ---- explain ---- *)
 

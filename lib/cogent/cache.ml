@@ -41,11 +41,17 @@ let size_class problem =
        (Classify.all_indices info))
 
 let key (ctx : Ctx.t) problem =
-  Printf.sprintf "%s|%s|%s|%s"
+  Printf.sprintf "%s|%s|%s|%s%s"
     (Ast.tccg_string (Problem.info problem).Classify.original)
     ctx.Ctx.arch.Arch.name
     (Precision.to_string ctx.Ctx.precision)
     (size_class problem)
+    (* A forced kernel schema changes what the search returns, so it is
+       part of the identity; auto-raced contexts keep the historical key
+       (and stay compatible with stores written before schemas existed). *)
+    (match ctx.Ctx.schema with
+    | None -> ""
+    | Some s -> "|" ^ Schema.to_string s)
 
 let hit_counter () = Tc_obs.Metrics.counter "cogent.cache.hits"
 let miss_counter () = Tc_obs.Metrics.counter "cogent.cache.misses"

@@ -26,7 +26,8 @@ val size_class : Problem.t -> string
 
 val key : Ctx.t -> Problem.t -> string
 (** The full memoization key:
-    [contraction|arch|precision|size class].  This is also the row key of
+    [contraction|arch|precision|size class], with [|schema] appended only
+    when the context forces a kernel schema.  This is also the row key of
     the on-disk {!Tc_serve.Planstore}. *)
 
 val find_or_generate_ctx : t -> Ctx.t -> Problem.t -> (Driver.t, Driver.error) result

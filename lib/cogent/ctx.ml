@@ -5,6 +5,7 @@ type measure = Plan.t -> float
 type t = {
   arch : Arch.t;
   precision : Precision.t;
+  schema : Schema.t option;
   refine : int;
   measure : measure option;
   jobs : int option;
@@ -15,18 +16,20 @@ let default =
   {
     arch = Arch.v100;
     precision = Precision.FP64;
+    schema = None;
     refine = 8;
     measure = None;
     jobs = None;
     budget = None;
   }
 
-let make ?(arch = Arch.v100) ?(precision = Precision.FP64) ?(refine = 8)
-    ?measure ?jobs ?budget () =
-  { arch; precision; refine; measure; jobs; budget }
+let make ?(arch = Arch.v100) ?(precision = Precision.FP64) ?schema
+    ?(refine = 8) ?measure ?jobs ?budget () =
+  { arch; precision; schema; refine; measure; jobs; budget }
 
 let with_arch arch t = { t with arch }
 let with_precision precision t = { t with precision }
+let with_schema schema t = { t with schema = Some schema }
 let with_measure m t = { t with measure = Some m }
 let with_refine refine t = { t with refine }
 let with_jobs j t = { t with jobs = Some j }
@@ -35,8 +38,10 @@ let with_budget b t = { t with budget = Some b }
 let install_jobs t = Option.iter Tc_par.Pool.set_default_jobs t.jobs
 
 let pp ppf t =
-  Format.fprintf ppf "%s %s refine=%d %s jobs=%s budget=%s" t.arch.Arch.name
+  Format.fprintf ppf "%s %s schema=%s refine=%d %s jobs=%s budget=%s"
+    t.arch.Arch.name
     (Precision.to_string t.precision)
+    (match t.schema with None -> "auto" | Some s -> Schema.to_string s)
     t.refine
     (if Option.is_none t.measure then "model-only" else "measured")
     (match t.jobs with None -> "default" | Some j -> string_of_int j)

@@ -17,6 +17,11 @@ type measure = Plan.t -> float
 type t = {
   arch : Arch.t;  (** target device (default V100) *)
   precision : Precision.t;  (** default FP64 *)
+  schema : Schema.t option;
+      (** kernel schema: [Some s] forces [s] (infeasible combinations make
+          {!Plan.make} raise); [None] (the default) lets the driver race
+          every feasible schema of each refined candidate under [measure],
+          falling back to classic when there is no measure *)
   refine : int;
       (** how many top model-ranked candidates the driver benchmarks with
           [measure] (default 8; 1 = pure model-driven selection) *)
@@ -39,12 +44,13 @@ val default : t
     budget — exactly the historical defaults of [Driver.generate]. *)
 
 val make :
-  ?arch:Arch.t -> ?precision:Precision.t -> ?refine:int -> ?measure:measure
-  -> ?jobs:int -> ?budget:int -> unit -> t
+  ?arch:Arch.t -> ?precision:Precision.t -> ?schema:Schema.t -> ?refine:int
+  -> ?measure:measure -> ?jobs:int -> ?budget:int -> unit -> t
 (** {!default} with the given fields replaced. *)
 
 val with_arch : Arch.t -> t -> t
 val with_precision : Precision.t -> t -> t
+val with_schema : Schema.t -> t -> t
 val with_measure : measure -> t -> t
 val with_refine : int -> t -> t
 val with_jobs : int -> t -> t

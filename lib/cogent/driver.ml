@@ -15,7 +15,10 @@ type t = {
 
 type measure = Ctx.measure
 
-type error = No_viable_mapping of Prune.stats | Bad_problem of string
+type error =
+  | No_viable_mapping of Prune.stats
+  | Bad_problem of string
+  | Infeasible_schema of Schema.t * string
 
 let pp_error ppf = function
   | No_viable_mapping s ->
@@ -24,6 +27,7 @@ let pp_error ppf = function
          %d, all rejected)"
         s.Prune.enumerated
   | Bad_problem m -> Format.pp_print_string ppf m
+  | Infeasible_schema (_, m) -> Format.pp_print_string ppf m
 
 let error_to_string e = Format.asprintf "%a" pp_error e
 
@@ -88,38 +92,91 @@ let generate_one (ctx : Ctx.t) ~topk problem =
   match outcome.Pipeline.ranked with
   | [] -> Error (No_viable_mapping prune_stats)
   | (top, _) :: _ as ranked ->
-      let plan_of mapping = Plan.make ~problem ~mapping ~arch ~precision in
+      let plan_of ?schema mapping =
+        let p = Plan.make ~problem ~mapping ~arch ~precision in
+        match schema with None -> p | Some s -> Plan.with_schema s p
+      in
+      let forced = ctx.Ctx.schema in
+      (* Kernel schemas a candidate is raced under: the forced one (when
+         feasible for this mapping), or every feasible schema —
+         Classic-first, so the index-ordered reduction below keeps the
+         classic kernel on ties and on devices without async copies the
+         race degenerates to the historical classic-only refinement. *)
+      let schemas_of m =
+        match forced with
+        | Some s ->
+            if Plan.schema_feasible ~arch ~precision ~mapping:m s then [ s ]
+            else []
+        | None -> Plan.feasible_schemas ~arch ~precision m
+      in
+      (* A forced schema that no ranked mapping admits is a typed error —
+         never an exception — so the CLI can print why and exit: e.g.
+         [--schema mma] with an fp64 problem, or double-buffered slabs
+         that overflow SMEM on every candidate. *)
+      let model_pick () =
+        match forced with
+        | None -> Ok (plan_of top)
+        | Some s -> (
+            match
+              List.find_opt
+                (fun (m, _) -> Plan.schema_feasible ~arch ~precision ~mapping:m s)
+                ranked
+            with
+            | Some (m, _) -> Ok (plan_of ~schema:s m)
+            | None ->
+                Error
+                  (Infeasible_schema
+                     ( s,
+                       Printf.sprintf
+                         "kernel schema %s is not feasible for this problem \
+                          on %s at %s (%s)"
+                         (Schema.to_string s) arch.Arch.name
+                         (Precision.to_string precision)
+                         (if not (Schema.admits_precision s precision) then
+                            "MMA fragments require fp16 or tf32"
+                          else if not arch.Arch.async_copy then
+                            "device has no async copies"
+                          else
+                            "no ranked mapping fits the doubled SMEM slabs \
+                             or fragment shape") )))
+      in
       (* Benchmark the top model-ranked candidates and keep the fastest —
          the paper auto-tunes across the model-selected set (§VI). *)
-      let plan =
+      let selected =
         match ctx.Ctx.measure with
-        | None -> plan_of top
+        | None -> model_pick ()
         | Some run ->
             let candidates =
               List.filteri (fun k _ -> k < max 1 ctx.Ctx.refine) ranked
+              |> List.concat_map (fun (m, _) ->
+                     List.map (fun s -> (m, s)) (schemas_of m))
             in
             Trace.with_span "driver.refine"
               ~args:[ ("candidates", Trace.Int (List.length candidates)) ]
             @@ fun () ->
             timed_phase "refine" @@ fun () ->
-            (* [candidates] starts with [top], so measuring exactly the
-               candidate list (no extra seed run) costs [refine]
-               simulator calls; the index-ordered reduction with a
-               strict [>] keeps the earliest candidate on ties, exactly
-               like the sequential fold it replaces. *)
+            (* [candidates] starts with [top] under its first schema, so
+               measuring exactly the candidate list (no extra seed run)
+               costs [refine * schemas] simulator calls; the index-ordered
+               reduction with a strict [>] keeps the earliest candidate on
+               ties, exactly like the sequential fold it replaces. *)
             (match
                Tc_par.Pool.fold_best
                  ~better:(fun (_, g) (_, bg) -> g > bg)
-                 (fun (m, _) ->
-                   let p = plan_of m in
+                 (fun (m, s) ->
+                   let p = plan_of ~schema:s m in
                    (p, run p))
                  candidates
              with
-            | Some (best, _) -> best
-            | None -> plan_of top)
+            | Some (best, _) -> Ok best
+            | None -> model_pick ())
       in
+      match selected with
+      | Error e -> Error e
+      | Ok plan ->
       Log.info (fun m ->
-          m "selected %a (cost %.3e)" Mapping.pp plan.Plan.mapping
+          m "selected %a [%s schema] (cost %.3e)" Mapping.pp plan.Plan.mapping
+            (Schema.to_string plan.Plan.schema)
             plan.Plan.cost);
       Trace.add_args
         [

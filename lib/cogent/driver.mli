@@ -40,6 +40,10 @@ type error =
       (** the contraction admits no hardware-feasible configuration (never
           observed for valid inputs); the stats say what rejected what *)
   | Bad_problem of string  (** invalid contraction or size map *)
+  | Infeasible_schema of Tc_gpu.Schema.t * string
+      (** a {!Ctx.t.schema} was forced but no ranked mapping admits it —
+          e.g. [--schema mma] with an fp64 problem, or doubled SMEM slabs
+          overflowing the device on every candidate; the string says why *)
 
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string

@@ -48,7 +48,8 @@ let min_blocks_factor = 2
 let min_fvi_tile = 4
 
 let regs_per_thread prec mapping =
-  let factor = Precision.bytes prec / 4 in
+  (* sub-word scalars (fp16) still occupy whole registers *)
+  let factor = max 1 (Precision.bytes prec / 4) in
   (factor * Mapping.reg_elems_per_thread mapping) + 32
 
 let smem_bytes prec mapping =
@@ -141,7 +142,7 @@ let checker ?(performance = true) arch prec problem =
 let check_stream c ~threads ~smem_elems ~reg_elems ~tile ~blocks =
   let bytes = Precision.bytes c.prec in
   let smem = smem_elems * bytes in
-  let regs = (bytes / 4 * reg_elems) + 32 in
+  let regs = (max 1 (bytes / 4) * reg_elems) + 32 in
   let occ =
     lazy
       (Occupancy.calculate c.arch

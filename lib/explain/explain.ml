@@ -8,6 +8,7 @@ type candidate = {
   cost : Cost.explanation;
   occupancy : Occupancy.result;
   sim : Tc_sim.Simkernel.result;
+  pipelined : (Schema.t * Tc_sim.Simkernel.result) option;
 }
 
 type t = {
@@ -33,12 +34,30 @@ let analyze (ctx : Ctx.t) ?(top = 3) problem =
         List.mapi
           (fun k (mapping, _) ->
             let plan = Plan.make ~problem ~mapping ~arch ~precision in
+            (* The schema race the driver would run for this mapping: the
+               fastest feasible pipelined variant, priced by the same
+               simulator.  [None] on devices without async copies. *)
+            let pipelined =
+              List.filter Schema.pipelined
+                (Plan.feasible_schemas ~arch ~precision mapping)
+              |> List.fold_left
+                   (fun best sc ->
+                     let r = Tc_sim.Simkernel.run (Plan.with_schema sc plan) in
+                     match best with
+                     | Some (_, br)
+                       when br.Tc_sim.Simkernel.time_s
+                            <= r.Tc_sim.Simkernel.time_s ->
+                         best
+                     | _ -> Some (sc, r))
+                   None
+            in
             {
               rank = k + 1;
               plan;
               cost = Cost.explain precision problem mapping;
               occupancy = Plan.occupancy plan;
               sim = Tc_sim.Simkernel.run plan;
+              pipelined;
             })
           ranked
       in
@@ -126,7 +145,22 @@ let render t =
         d.Tc_sim.Simkernel.mem_eff d.Tc_sim.Simkernel.comp_eff
         d.Tc_sim.Simkernel.warp_eff d.Tc_sim.Simkernel.ilp_eff
         d.Tc_sim.Simkernel.tx_lhs d.Tc_sim.Simkernel.tx_rhs
-        d.Tc_sim.Simkernel.tx_out)
+        d.Tc_sim.Simkernel.tx_out;
+      (* Only on devices with async copies, so classic-only reports are
+         unchanged. *)
+      match c.pipelined with
+      | None -> ()
+      | Some (sc, r) ->
+          let ratio =
+            sim.Tc_sim.Simkernel.time_s /. r.Tc_sim.Simkernel.time_s
+          in
+          Format.fprintf fmt
+            "    schema      %s %.0f GFLOPS — %.2fx vs classic staging \
+             (%s)@."
+            (Schema.to_string sc) r.Tc_sim.Simkernel.gflops ratio
+            (if r.Tc_sim.Simkernel.time_s < sim.Tc_sim.Simkernel.time_s then
+               "overlap wins"
+             else "classic wins"))
     t.candidates;
   Format.pp_print_flush fmt ();
   Buffer.contents buf
@@ -146,7 +180,7 @@ let candidate_to_json c =
   let sim = c.sim in
   let d = sim.Tc_sim.Simkernel.detail in
   Tc_obs.Json.Obj
-    [
+    ([
       ("rank", Tc_obs.Json.Int c.rank);
       ( "mapping",
         Tc_obs.Json.String (Format.asprintf "%a" Mapping.pp p.Plan.mapping) );
@@ -179,6 +213,22 @@ let candidate_to_json c =
             ("tx_out", Tc_obs.Json.Float d.Tc_sim.Simkernel.tx_out);
           ] );
     ]
+    @
+    match c.pipelined with
+    | None -> []
+    | Some (sc, r) ->
+        [
+          ( "pipelined",
+            Tc_obs.Json.Obj
+              [
+                ("schema", Tc_obs.Json.String (Schema.to_string sc));
+                ("sim_gflops", Tc_obs.Json.Float r.Tc_sim.Simkernel.gflops);
+                ( "speedup_vs_classic",
+                  Tc_obs.Json.Float
+                    (sim.Tc_sim.Simkernel.time_s
+                    /. r.Tc_sim.Simkernel.time_s) );
+              ] );
+        ])
 
 let to_json t =
   let s = t.stats in

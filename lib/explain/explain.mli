@@ -20,6 +20,10 @@ type candidate = {
   cost : Cost.explanation;  (** Algorithm-3 charge sheet *)
   occupancy : Occupancy.result;
   sim : Tc_sim.Simkernel.result;  (** simulator verdict incl. roofline *)
+  pipelined : (Schema.t * Tc_sim.Simkernel.result) option;
+      (** fastest feasible pipelined/MMA variant of the same mapping, for
+          the overlap-vs-classic comparison ([None] on devices without
+          async copies) *)
 }
 
 type t = {

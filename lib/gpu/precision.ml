@@ -1,8 +1,20 @@
-type t = FP32 | FP64
+type t = FP16 | TF32 | FP32 | FP64
 
-let bytes = function FP32 -> 4 | FP64 -> 8
-let to_string = function FP32 -> "fp32" | FP64 -> "fp64"
-let cuda_type = function FP32 -> "float" | FP64 -> "double"
+let bytes = function FP16 -> 2 | TF32 -> 4 | FP32 -> 4 | FP64 -> 8
+
+let to_string = function
+  | FP16 -> "fp16"
+  | TF32 -> "tf32"
+  | FP32 -> "fp32"
+  | FP64 -> "fp64"
+
+let cuda_type = function
+  | FP16 -> "half"
+  | TF32 -> "float"
+  | FP32 -> "float"
+  | FP64 -> "double"
+
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 let equal a b = a = b
 let elems_per_transaction t = 128 / bytes t
+let tensor_core = function FP16 | TF32 -> true | FP32 | FP64 -> false

@@ -9,7 +9,10 @@ let smem_bytes k = sum_elems k.smem * scalar_bytes k
 
 let reg_estimate k =
   let live = k.acc.elems + sum_elems k.regs in
-  (scalar_bytes k / 4 * live) + 32
+  (* sub-word scalars (fp16) still occupy whole registers *)
+  (max 1 (scalar_bytes k / 4) * live)
+  + 32
+  + Schema.extra_regs k.spec.schema
 
 let occupancy_request k =
   {
@@ -76,6 +79,11 @@ let staging_conflict_ways k =
     exec env k.thread_init;
     set_var env "step" 0;
     exec env k.step_setup;
+    (* pipelined schemas decode staging bases from the prefetch step; the
+       prologue values make the classic and pipelined first stages alias *)
+    set_var env stage_step_var 0;
+    set_var env buf_stage_var 0;
+    exec env k.stage_setup;
     exec env k.stage
   done;
   Hashtbl.fold

@@ -12,8 +12,11 @@ val smem_bytes : Ir.kernel -> int
 val reg_estimate : Ir.kernel -> int
 (** Per-thread register estimate from the declared register arrays
     (accumulator tile + staging vectors), using the planner's convention:
-    one 32-bit register per 4 bytes of live scalar plus a fixed overhead of
-    32 for addressing. *)
+    one 32-bit register per 4 bytes of live scalar (at least one — fp16
+    values still occupy whole registers) plus a fixed overhead of 32 for
+    addressing, plus the schema's bookkeeping registers
+    ({!Tc_gpu.Schema.extra_regs}: in-flight copy addresses for the
+    pipelined schemas, fragment metadata for MMA). *)
 
 val occupancy_request : Ir.kernel -> Tc_gpu.Occupancy.request
 (** The kernel's resource footprint as an occupancy request (registers

@@ -8,6 +8,7 @@ type binding = { index : Index.t; tile : int }
 type spec = {
   name : string;
   precision : Precision.t;
+  schema : Schema.t;
   lhs : Index.t list;
   rhs : Index.t list;
   out : Index.t list;
@@ -106,6 +107,7 @@ type kernel = {
   thread_init : stmt list;
   acc_init : stmt list;
   step_setup : stmt list;
+  stage_setup : stmt list;
   stage : stmt list;
   compute : stmt list;
   store : stmt list;
@@ -113,6 +115,9 @@ type kernel = {
 
 let num_steps_var = "num_steps"
 let tid_var = "tid"
+let stage_step_var = "stage_step"
+let buf_stage_var = "buf_stage"
+let buf_comp_var = "buf_comp"
 
 (* ---- traversals ---- *)
 

@@ -26,6 +26,10 @@ type binding = { index : Index.t; tile : int }
 type spec = {
   name : string;  (** kernel symbol name *)
   precision : Precision.t;
+  schema : Schema.t;
+      (** kernel schema: [Classic] is the synchronous ladder of Algorithm 1;
+          the pipelined schemas double-buffer the SMEM slabs and stage tile
+          [t+1] while computing tile [t] (see {!Schema}) *)
   lhs : Index.t list;  (** canonical lhs operand layout, FVI first *)
   rhs : Index.t list;
   out : Index.t list;
@@ -108,12 +112,20 @@ type array_decl = { a_name : string; elems : int }
 
 (** {1 Kernels}
 
-    Phase fields in execution order.  Barriers are structural: one separates
-    [stage] from [compute], one ends each step-loop iteration. *)
+    Phase fields in execution order.  Barriers are structural: in the
+    classic schema one separates [stage] from [compute] and one ends each
+    step-loop iteration; in the pipelined schemas [stage] prefetches the
+    {e next} tile (addressed by {!stage_step_var} into the SMEM half
+    selected by {!buf_stage_var}) while [compute] reads the current half
+    ({!buf_comp_var}), and a single end-of-iteration barrier (plus the
+    async-copy wait in the CUDA dialect) retires each step — the staged
+    and computed halves are disjoint, so the mid-step barrier disappears. *)
 
 type kernel = {
   spec : spec;
-  smem : array_decl list;  (** shared-memory slabs, [s_A; s_B] *)
+  smem : array_decl list;
+      (** shared-memory slabs, [s_A; s_B] — double-length (two halves of
+          [elems/2]) under a pipelined schema *)
   regs : array_decl list;
       (** staging vectors [r_A; r_B] — live only within one compute phase *)
   acc : array_decl;  (** accumulator tile [r_C] — lives across barriers *)
@@ -122,7 +134,13 @@ type kernel = {
   step_counts : stmt list;  (** per-internal step counts and [num_steps] *)
   thread_init : stmt list;  (** tx/ty/tid and thread-local coordinates *)
   acc_init : stmt list;  (** accumulator zeroing *)
-  step_setup : stmt list;  (** step bases decoded from the step counter *)
+  step_setup : stmt list;
+      (** step bases decoded from the step counter (classic schema; empty
+          when pipelined — the decode moves to [stage_setup]) *)
+  stage_setup : stmt list;
+      (** pipelined schemas only: internal-index bases of the tile being
+          {e prefetched}, decoded from {!stage_step_var} — printed before
+          [stage] in the prologue and in each in-flight prefetch *)
   stage : stmt list;  (** phase (1): cooperative GMEM→SMEM staging *)
   compute : stmt list;  (** phases (2)+(3): SMEM→REG loads, outer products *)
   store : stmt list;  (** phase (4): guarded REG→GMEM stores *)
@@ -133,6 +151,18 @@ val num_steps_var : string
 
 val tid_var : string
 (** Name of the flattened thread id declared by [thread_init]. *)
+
+val stage_step_var : string
+(** Pipelined schemas: the step index of the tile being prefetched
+    ([step + 1]; 0 in the prologue), declared by the printers. *)
+
+val buf_stage_var : string
+(** Pipelined schemas: SMEM half being written by [stage]
+    ([stage_step mod 2]). *)
+
+val buf_comp_var : string
+(** Pipelined schemas: SMEM half being read by [compute]
+    ([step mod 2]). *)
 
 (** {1 Traversals} *)
 

@@ -182,6 +182,7 @@ let kernel (s : spec) =
   let a = lhs_view s and b = rhs_view s and c = out_view s in
   let rx = size_regx s and ry = size_regy s and tk = size_tbk s in
   let slab_a = slab_elems s a.indices and slab_b = slab_elems s b.indices in
+  let pipelined = Tc_gpu.Schema.pipelined s.schema in
   (* -- grid setup: strides and per-external chunk counts -- *)
   let grid_setup =
     gmem_strides a @ gmem_strides b @ gmem_strides c
@@ -266,8 +267,11 @@ let kernel (s : spec) =
         };
     ]
   in
-  (* -- step bases decoded from the serial step counter -- *)
-  let step_setup =
+  (* -- step bases decoded from the serial step counter.  Only the staging
+     phase consumes the internal bases, so under a pipelined schema the
+     decode moves wholesale into [stage_setup], driven by the index of the
+     tile being prefetched rather than the tile being computed. -- *)
+  let decode_internal_bases ~init =
     match s.internals with
     | [] -> []
     | ints ->
@@ -275,15 +279,35 @@ let kernel (s : spec) =
           ~names:(List.map (base_name s) ints)
           ~counts:(List.map (fun i -> Printf.sprintf "ns_%c" i) ints)
           ~tiles:(List.map (tile_of s) ints)
-          ~init:(Var "step")
+          ~init
+  in
+  let step_setup =
+    if pipelined then [] else decode_internal_bases ~init:(Var "step")
+  in
+  let stage_setup =
+    if pipelined then decode_internal_bases ~init:(Var stage_step_var) else []
+  in
+  (* The two-slab rotation: stage writes the half selected by [buf_stage],
+     compute reads the half selected by [buf_comp] — disjoint halves of the
+     doubled SMEM arrays, which is what lets the load of tile t+1 overlap
+     the compute of tile t. *)
+  let rotate buf_var stmts =
+    if not pipelined then stmts
+    else
+      offset_array ~name:"s_A" ~offset:(Mul (Var buf_var, Int_lit slab_a))
+        (offset_array ~name:"s_B" ~offset:(Mul (Var buf_var, Int_lit slab_b))
+           stmts)
   in
   (* -- phase (1): cooperative staging -- *)
   let stage =
-    [
-      Comment "(1) load input slabs from GMEM to SMEM";
-      slab_load s a ~smem:"s_A" ~local_prefix:"la";
-      slab_load s b ~smem:"s_B" ~local_prefix:"lb";
-    ]
+    rotate buf_stage_var
+      [
+        Comment
+          (if pipelined then "(1) stage the next input slabs from GMEM to SMEM"
+           else "(1) load input slabs from GMEM to SMEM");
+        slab_load s a ~smem:"s_A" ~local_prefix:"la";
+        slab_load s b ~smem:"s_B" ~local_prefix:"lb";
+      ]
   in
   (* -- phases (2)+(3).  A coordinate inside a slab is: thread-local (l_i)
      for TB-mapped indices, register-local for REG-mapped indices, lk_i for
@@ -315,7 +339,17 @@ let kernel (s : spec) =
       }
   in
   let compute =
-    [
+    rotate buf_comp_var
+    @@ (if Tc_gpu.Schema.mma s.schema then
+          [
+            Comment
+              (Printf.sprintf
+                 "MMA fragment compute (%s): the outer product below is the \
+                  scalar semantics of the fragment tile"
+                 (Tc_gpu.Precision.to_string s.precision));
+          ]
+        else [])
+    @ [
       For
         {
           var = "kk"; start = Int_lit 0; bound = Int_lit tk; step = Int_lit 1;
@@ -420,10 +454,14 @@ let kernel (s : spec) =
         };
     ]
   in
+  let sf = Tc_gpu.Schema.smem_factor s.schema in
   {
     spec = s;
     smem =
-      [ { a_name = "s_A"; elems = slab_a }; { a_name = "s_B"; elems = slab_b } ];
+      [
+        { a_name = "s_A"; elems = sf * slab_a };
+        { a_name = "s_B"; elems = sf * slab_b };
+      ];
     regs = [ { a_name = "r_A"; elems = rx }; { a_name = "r_B"; elems = ry } ];
     acc = { a_name = "r_C"; elems = rx * ry };
     grid_setup;
@@ -432,6 +470,7 @@ let kernel (s : spec) =
     thread_init;
     acc_init;
     step_setup;
+    stage_setup;
     stage;
     compute;
     store;

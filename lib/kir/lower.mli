@@ -6,6 +6,15 @@
     TB_k sweep, and guarded coalesced stores.  Tile sizes and thread-block
     shape are baked in as compile-time constants; tensor extents stay
     runtime parameters ([N_i]), exactly as in the string emitter this
-    replaces.  All dialect choices are deferred to {!Print}. *)
+    replaces.  All dialect choices are deferred to {!Print}.
+
+    The [spec.schema] field selects the kernel schema.  Under a pipelined
+    schema the SMEM slabs are doubled and rotate between two halves: the
+    staging phase writes the half [buf_stage = stage_step mod 2] for the
+    {e next} tile (its internal bases decoded in the [stage_setup] phase
+    from [stage_step]), while the compute phase reads the half
+    [buf_comp = step mod 2] — so the printers can overlap the two with a
+    single barrier per step (plus the cp.async wait, in CUDA).  The classic
+    schema is bit-identical to what this lowering always produced. *)
 
 val kernel : Ir.spec -> Ir.kernel

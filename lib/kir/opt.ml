@@ -9,6 +9,7 @@ let map_phases f k =
     thread_init = f k.thread_init;
     acc_init = f k.acc_init;
     step_setup = f k.step_setup;
+    stage_setup = f k.stage_setup;
     stage = f k.stage;
     compute = f k.compute;
     store = f k.store;

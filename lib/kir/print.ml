@@ -8,13 +8,24 @@ let dialect_name = function
   | Opencl -> "OpenCL"
   | C_host -> "C host"
 
-type ctx = { d : dialect; prec : Precision.t; buf : Buffer.t }
+(* [async] is set only while printing the staging phase of a pipelined CUDA
+   kernel: slab stores then print as [__pipeline_memcpy_async] copies. *)
+type ctx = { d : dialect; prec : Precision.t; async : bool; buf : Buffer.t }
 
 let bpf ctx fmt = Printf.bprintf ctx.buf fmt
 let puts ctx s = Buffer.add_string ctx.buf s
 
-let scalar ctx = Precision.cuda_type ctx.prec
-let zero ctx = match ctx.prec with Precision.FP64 -> "0.0" | FP32 -> "0.0f"
+(* the C host executes half-precision kernels in float: the emulation targets
+   numerical checking, not storage-format fidelity *)
+let scalar ctx =
+  match (ctx.d, ctx.prec) with
+  | C_host, Precision.FP16 -> "float"
+  | _ -> Precision.cuda_type ctx.prec
+
+let zero ctx =
+  match ctx.prec with
+  | Precision.FP64 -> "0.0"
+  | FP32 | FP16 | TF32 -> "0.0f"
 let i64_ty ctx = match ctx.d with Opencl -> "long" | Cuda | C_host -> "long long"
 let flag_ty ctx = match ctx.d with Cuda -> "bool" | Opencl | C_host -> "int"
 
@@ -79,6 +90,20 @@ let ind ctx n = puts ctx (String.make (2 * n) ' ')
 
 let rec stmt ctx n s =
   match s with
+  (* pipelined CUDA staging: a guarded slab store becomes an asynchronous
+     GMEM→SMEM copy (the guard-false arm zero-fills synchronously, exactly
+     like the [Select]'s else branch) *)
+  | Assign (Larr (dst, da), Select (c, Index (src, sa), Scalar_zero))
+    when ctx.async ->
+      ind ctx n;
+      bpf ctx "if (%s) __pipeline_memcpy_async(&%s[%s], &%s[%s], sizeof(%s));\n"
+        (expr ctx 0 c) dst (expr ctx 0 da) src (expr ctx 0 sa) (scalar ctx);
+      ind ctx n;
+      bpf ctx "else %s[%s] = %s;\n" dst (expr ctx 0 da) (zero ctx)
+  | Assign (Larr (dst, da), Index (src, sa)) when ctx.async ->
+      ind ctx n;
+      bpf ctx "__pipeline_memcpy_async(&%s[%s], &%s[%s], sizeof(%s));\n" dst
+        (expr ctx 0 da) src (expr ctx 0 sa) (scalar ctx)
   | Decl { ty; const; name; init } ->
       ind ctx n;
       if const then puts ctx "const ";
@@ -150,8 +175,12 @@ let gpu_kernel ctx (k : kernel) =
       bpf ctx "    const %s* __restrict__ g_A,\n" sc;
       bpf ctx "    const %s* __restrict__ g_B" sc
   | Opencl ->
-      if s.precision = Precision.FP64 then
-        puts ctx "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n";
+      (match s.precision with
+      | Precision.FP64 ->
+          puts ctx "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n\n"
+      | Precision.FP16 ->
+          puts ctx "#pragma OPENCL EXTENSION cl_khr_fp16 : enable\n\n"
+      | Precision.FP32 | Precision.TF32 -> ());
       bpf ctx "__kernel void %s(\n" s.name;
       bpf ctx "    __global %s* restrict g_C,\n" sc;
       bpf ctx "    __global const %s* restrict g_A,\n" sc;
@@ -169,18 +198,54 @@ let gpu_kernel ctx (k : kernel) =
   bpf ctx "  %s %s[%d];\n" sc k.acc.a_name k.acc.elems;
   List.iter (fun a -> bpf ctx "  %s %s[%d];\n" sc a.a_name a.elems) k.regs;
   stmts ctx 1 k.acc_init;
-  bpf ctx "  for (int step = 0; step < %s; ++step) {\n" num_steps_var;
-  stmts ctx 2 k.step_setup;
-  stmts ctx 2 k.stage;
   let barrier =
     match ctx.d with
     | Cuda -> "    __syncthreads();\n"
     | _ -> "    barrier(CLK_LOCAL_MEM_FENCE);\n"
   in
-  puts ctx barrier;
-  stmts ctx 2 k.compute;
-  puts ctx barrier;
-  puts ctx "  }\n";
+  if not (Schema.pipelined s.schema) then begin
+    bpf ctx "  for (int step = 0; step < %s; ++step) {\n" num_steps_var;
+    stmts ctx 2 k.step_setup;
+    stmts ctx 2 k.stage;
+    puts ctx barrier;
+    stmts ctx 2 k.compute;
+    puts ctx barrier;
+    puts ctx "  }\n"
+  end
+  else begin
+    let async = ctx.d = Cuda in
+    let stage_ctx = { ctx with async } in
+    let print_stage n =
+      stmts ctx n k.stage_setup;
+      stmts stage_ctx n k.stage
+    in
+    (* prologue: stage tile 0 into SMEM half 0 *)
+    puts ctx "  {\n";
+    bpf ctx "    const int %s = 0;\n" stage_step_var;
+    bpf ctx "    const int %s = 0;\n" buf_stage_var;
+    print_stage 2;
+    puts ctx "  }\n";
+    if async then puts ctx "  __pipeline_commit();\n"
+    else puts ctx ("  " ^ String.trim barrier ^ "\n");
+    bpf ctx "  for (int step = 0; step < %s; ++step) {\n" num_steps_var;
+    (* prefetch tile step+1 into the half the current compute doesn't read;
+       the commit is unconditional so every iteration retires exactly one
+       copy group and [wait_prior(1)] needs no runtime group count *)
+    bpf ctx "    if (step + 1 < %s) {\n" num_steps_var;
+    bpf ctx "      const int %s = step + 1;\n" stage_step_var;
+    bpf ctx "      const int %s = %s %% 2;\n" buf_stage_var stage_step_var;
+    print_stage 3;
+    puts ctx "    }\n";
+    if async then begin
+      puts ctx "    __pipeline_commit();\n";
+      puts ctx "    __pipeline_wait_prior(1);\n";
+      puts ctx barrier
+    end;
+    bpf ctx "    const int %s = step %% 2;\n" buf_comp_var;
+    stmts ctx 2 k.compute;
+    puts ctx barrier;
+    puts ctx "  }\n"
+  end;
   stmts ctx 1 k.store;
   puts ctx "}\n"
 
@@ -230,17 +295,42 @@ let c_kernel ctx (k : kernel) =
   List.iter (fun a -> bpf ctx "    %s %s[%d];\n" sc a.a_name a.elems) k.smem;
   bpf ctx "    %s %s[%d];\n" sc k.acc.a_name (threads s * k.acc.elems);
   thread_loop 2 (per_thread k.acc_init);
-  bpf ctx "    for (int step = 0; step < %s; ++step) {\n" num_steps_var;
-  stmts ctx 3 k.step_setup;
-  thread_loop 3 k.stage;
-  thread_loop 3 ~arrays:k.regs (per_thread k.compute);
-  puts ctx "    }\n";
+  if not (Schema.pipelined s.schema) then begin
+    bpf ctx "    for (int step = 0; step < %s; ++step) {\n" num_steps_var;
+    stmts ctx 3 k.step_setup;
+    thread_loop 3 k.stage;
+    thread_loop 3 ~arrays:k.regs (per_thread k.compute);
+    puts ctx "    }\n"
+  end
+  else begin
+    (* two-slab rotation, executed sequentially: the prologue stages tile 0
+       into half 0; each step stages tile step+1 into the half the compute
+       of tile step doesn't read *)
+    puts ctx "    {\n";
+    bpf ctx "      const int %s = 0;\n" stage_step_var;
+    bpf ctx "      const int %s = 0;\n" buf_stage_var;
+    stmts ctx 3 k.stage_setup;
+    thread_loop 3 k.stage;
+    puts ctx "    }\n";
+    bpf ctx "    for (int step = 0; step < %s; ++step) {\n" num_steps_var;
+    bpf ctx "      if (step + 1 < %s) {\n" num_steps_var;
+    bpf ctx "        const int %s = step + 1;\n" stage_step_var;
+    bpf ctx "        const int %s = %s %% 2;\n" buf_stage_var stage_step_var;
+    stmts ctx 4 k.stage_setup;
+    thread_loop 4 k.stage;
+    puts ctx "      }\n";
+    bpf ctx "      const int %s = step %% 2;\n" buf_comp_var;
+    thread_loop 3 ~arrays:k.regs (per_thread k.compute);
+    puts ctx "    }\n"
+  end;
   thread_loop 2 (per_thread k.store);
   puts ctx "  }\n";
   puts ctx "}\n"
 
 let kernel d (k : kernel) =
-  let ctx = { d; prec = k.spec.precision; buf = Buffer.create 4096 } in
+  let ctx =
+    { d; prec = k.spec.precision; async = false; buf = Buffer.create 4096 }
+  in
   (match d with
   | Cuda | Opencl -> gpu_kernel ctx k
   | C_host -> c_kernel ctx k);
@@ -255,7 +345,9 @@ let host_fill ~tag k =
 
 let c_main (k : kernel) =
   let s = k.spec in
-  let ctx = { d = C_host; prec = s.precision; buf = Buffer.create 2048 } in
+  let ctx =
+    { d = C_host; prec = s.precision; async = false; buf = Buffer.create 2048 }
+  in
   let sc = scalar ctx in
   let idx = all_indices s in
   puts ctx "static double tc_fill(unsigned tag, size_t k)\n{\n";

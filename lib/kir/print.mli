@@ -16,7 +16,13 @@
       [Contract_ref].
 
     The IR's structural barriers (stage → compute inside the step loop) are
-    realized here, per dialect. *)
+    realized here, per dialect.  Pipelined schemas change the step-loop
+    shape in every dialect: a prologue stages tile 0, each iteration
+    prefetches tile [step+1] into the SMEM half the running compute doesn't
+    read, and the mid-step barrier disappears.  In CUDA the prefetch prints
+    as [__pipeline_memcpy_async] copies with one commit per iteration and a
+    constant [__pipeline_wait_prior(1)]; OpenCL and the C host emulate the
+    same two-slab rotation with synchronous copies. *)
 
 type dialect = Cuda | Opencl | C_host
 

@@ -157,6 +157,7 @@ let entry_to_json (r : Cogent.Driver.t) =
              (Sizes.to_list (Problem.sizes problem))) );
       ("arch", J.String plan.Cogent.Plan.arch.Arch.name);
       ("precision", J.String (Precision.to_string plan.Cogent.Plan.precision));
+      ("kernel_schema", J.String (Schema.to_string plan.Cogent.Plan.schema));
       ("mapping", mapping_to_json plan.Cogent.Plan.mapping);
       ( "ranked",
         J.List
@@ -195,6 +196,8 @@ let entry_of_json j =
     match prec_s with
     | "fp64" -> Ok Precision.FP64
     | "fp32" -> Ok Precision.FP32
+    | "fp16" -> Ok Precision.FP16
+    | "tf32" -> Ok Precision.TF32
     | s -> Error (Printf.sprintf "unknown precision %S" s)
   in
   let* mapping = Result.bind (field "mapping" j) mapping_of_json in
@@ -204,6 +207,21 @@ let entry_of_json j =
     match Cogent.Plan.make ~problem ~mapping ~arch ~precision with
     | p -> Ok p
     | exception Invalid_argument m -> Error m
+  in
+  (* Lenient: rows written before kernel schemas existed lack the tag and
+     load as classic; a present tag must name a schema still feasible for
+     the row's mapping (feasibility is recomputed, like the cost). *)
+  let* plan =
+    match field "kernel_schema" j with
+    | Error _ -> Ok plan
+    | Ok v -> (
+        let* s = as_string v in
+        match Schema.of_string s with
+        | None -> Error (Printf.sprintf "unknown kernel schema %S" s)
+        | Some sc -> (
+            match Cogent.Plan.with_schema sc plan with
+            | p -> Ok p
+            | exception Invalid_argument m -> Error m))
   in
   let* ranked_l = Result.bind (field "ranked" j) as_list in
   let* ranked =

@@ -12,7 +12,9 @@
     cost — costs are a pure function of (problem, mapping, device,
     precision), and {!Tc_obs.Json} renders floats with the shortest
     representation that parses back to the same value, so a save→load
-    round trip is bit-exact (locked by a property test).
+    round trip is bit-exact (locked by a property test).  The plan's
+    kernel schema rides along as a ["kernel_schema"] tag, decoded
+    leniently: rows written before schemas existed load as classic.
 
     Failure ladder: a missing file is an empty store; a wrong or missing
     schema header rejects the whole store (a later writer owns that

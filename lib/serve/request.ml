@@ -35,7 +35,8 @@ let of_line ~default ~id line =
     | Some s -> (
         match Arch.by_name s with
         | Some a -> Ok a
-        | None -> Error (Printf.sprintf "unknown device %S (p100|v100|a100)" s))
+        | None ->
+            Error (Printf.sprintf "unknown device %S (p100|v100|a100|h100)" s))
   in
   let* precision =
     let* s = string_field "precision" json in
@@ -43,7 +44,10 @@ let of_line ~default ~id line =
     | None -> Ok default.Cogent.Ctx.precision
     | Some "fp64" | Some "double" -> Ok Precision.FP64
     | Some "fp32" | Some "float" | Some "single" -> Ok Precision.FP32
-    | Some s -> Error (Printf.sprintf "unknown precision %S (fp32|fp64)" s)
+    | Some "fp16" | Some "half" -> Ok Precision.FP16
+    | Some "tf32" -> Ok Precision.TF32
+    | Some s ->
+        Error (Printf.sprintf "unknown precision %S (fp16|tf32|fp32|fp64)" s)
   in
   Ok { id; expr; sizes; arch; precision }
 

@@ -2,8 +2,8 @@
 
     A workload file is JSONL: one request object per line, e.g.
     [{"expr":"abcd-aebf-dfce","sizes":"a=48,b=48,c=48,d=48,e=32,f=32"}],
-    with optional ["arch"] (p100|v100|a100) and ["precision"] (fp32|fp64)
-    fields overriding the session context.  Blank lines are skipped;
+    with optional ["arch"] (p100|v100|a100|h100) and ["precision"]
+    (fp16|tf32|fp32|fp64) fields overriding the session context.  Blank lines are skipped;
     request ids are 1-based line numbers, so a malformed line keeps a
     stable id in the report. *)
 

@@ -6,9 +6,13 @@
     {!Cogent.Cache.key}, fans the {e distinct} plan searches out on
     {!Tc_par.Pool} (first-appearance order, so results are bit-identical
     at any job count), then dispatches every request to whichever engine
-    the models predict faster: the COGENT kernel ({!Tc_sim.Simkernel} on
-    the cached plan) or the TTGT pipeline ({!Tc_ttgt.Ttgt.run_ctx} on the
-    same representative problem).
+    the models predict faster — a three-way race between the classic
+    COGENT kernel ({!Tc_sim.Simkernel} on the cached plan), the best
+    feasible {e pipelined} COGENT variant of the same mapping (double
+    buffering / MMA, absent on devices without async copies), and the
+    TTGT pipeline ({!Tc_ttgt.Ttgt.run_ctx} on the same representative
+    problem).  Classic wins ties, so classic-only workloads dispatch
+    exactly as they did under the two-way race.
 
     Degradation ladder: a {!Cogent.Ctx.t.budget} falls generation back to
     the heuristic top-of-enumeration plan (flagged per request); a failed
@@ -35,10 +39,21 @@ type outcome = {
           an earlier batch on this session) *)
   degraded : bool;  (** plan came from a budget-truncated search *)
   engine : engine;  (** dispatch decision: lower predicted time wins *)
-  cogent_time_s : float;  (** simulator prediction for the COGENT kernel *)
+  schema : Tc_gpu.Schema.t;
+      (** kernel schema of the winning COGENT variant ([Classic] when the
+          TTGT pipeline won) *)
+  pipelined : (Tc_gpu.Schema.t * float) option;
+      (** best feasible pipelined variant and its predicted time — [None]
+          on devices without async copies *)
+  cogent_time_s : float;
+      (** simulator prediction for the classic COGENT kernel *)
   ttgt_time_s : float;  (** model prediction for the TTGT pipeline *)
   gflops : float;  (** predicted throughput of the chosen engine *)
 }
+
+val outcome_strategy : outcome -> string
+(** Dispatch label: ["cogent"], ["ttgt"], or ["cogent-<schema>"] when a
+    pipelined COGENT kernel won. *)
 
 type response = {
   id : int;
@@ -57,6 +72,8 @@ type summary = {
   degraded : int;
   errors : int;
   to_cogent : int;
+  to_pipelined : int;
+      (** of [to_cogent], requests dispatched to a pipelined schema *)
   to_ttgt : int;
   regrets : int;
       (** requests with positive dispatch regret: the losing engine would

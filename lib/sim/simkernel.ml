@@ -46,6 +46,12 @@ let mem_base_eff = 0.82
 let mem_sat_occupancy = 0.20
 let comp_sat_occupancy = 0.15
 
+(* Occupancy needed to saturate DRAM under the pipelined schemas: cp.async
+   keeps a full tile of loads in flight per block without register staging,
+   so far fewer resident warps cover the latency (Ampere tuning guide's
+   motivation for async copies). *)
+let mem_sat_occupancy_async = 0.10
+
 (* Per-iteration loop overhead (instructions) charged to the inner
    outer-product sweep, on top of FMAs and SMEM loads. *)
 let loop_overhead = 2.0
@@ -261,9 +267,13 @@ let run (plan : Plan.t) =
         (float_of_int (Plan.threads_per_block plan)
         /. float_of_int arch.Arch.warp_size)
     in
+    let schema = plan.Plan.schema in
+    let mem_sat =
+      if Schema.pipelined schema then mem_sat_occupancy_async
+      else mem_sat_occupancy
+    in
     let mem_eff =
-      mem_base_eff *. min 1.0 (occ /. mem_sat_occupancy) *. concurrency
-      *. warp_eff
+      mem_base_eff *. min 1.0 (occ /. mem_sat) *. concurrency *. warp_eff
     in
     let mem_time = bytes /. (arch.Arch.dram_bw_gbs *. 1e9 *. mem_eff) in
     (* Padded compute: every block runs its full loop structure. *)
@@ -282,12 +292,26 @@ let run (plan : Plan.t) =
     let ilp_eff =
       rx *. ry /. ((rx *. ry) +. ((rx +. ry) /. 2.0) +. loop_overhead)
     in
+    (* MMA schemas issue whole fragment operations: the scalar-ILP model is
+       replaced by the tensor-core rate discounted for operand staging. *)
     let comp_eff =
-      arch.Arch.fma_issue_eff *. ilp_eff
+      (if Schema.mma schema then arch.Arch.mma_issue_eff
+       else arch.Arch.fma_issue_eff *. ilp_eff)
       *. min 1.0 (occ /. comp_sat_occupancy)
       *. concurrency *. warp_eff
     in
-    let peak = Arch.peak_gflops arch prec *. 1e9 in
+    (* The emitted scalar kernels issue one FMA per element: fp16 operands
+       are promoted to single precision (no half2 vectorization), so the
+       SIMT ceiling for fp16 is the fp32 FMA rate, not the packed-half
+       peak.  Only the MMA schema reaches the tensor-core rate. *)
+    let peak =
+      (if Schema.mma schema then Arch.tensor_gflops arch prec
+       else
+         match prec with
+         | Precision.FP16 -> Arch.peak_gflops arch Precision.FP32
+         | _ -> Arch.peak_gflops arch prec)
+      *. 1e9
+    in
     let compute_time = padded_flops /. (peak *. comp_eff) in
     let launch = arch.Arch.kernel_launch_us *. 1e-6 in
     let body = Float.max mem_time compute_time in

@@ -16,7 +16,14 @@
 
     The absolute constants are calibrated against the GFLOPS ranges
     published in the paper (see EXPERIMENTS.md); relative behaviour between
-    configurations emerges from the traffic and occupancy math. *)
+    configurations emerges from the traffic and occupancy math.
+
+    The plan's kernel schema changes the roofline terms: pipelined schemas
+    saturate DRAM at a lower occupancy (async copies cover load latency
+    without resident-warp parallelism), and the MMA schema prices compute
+    against the device's dense tensor-core rate derated by
+    [Arch.mma_issue_eff] instead of the scalar FMA/ILP model.  Classic
+    plans are priced exactly as before the schemas existed. *)
 
 type bound = Memory | Compute | Latency
 

@@ -253,7 +253,10 @@ let emit_cuda precision t =
     t.k
     (Index.list_to_string t.k_order)
     (if t.swapped_output then " (operands exchanged: computes C^T)" else "")
-    (match precision with Precision.FP64 -> 'D' | Precision.FP32 -> 'S');
+    (match precision with
+    | Precision.FP64 -> 'D'
+    | Precision.FP32 | Precision.TF32 -> 'S'
+    | Precision.FP16 -> 'H');
   if t.permutes = [] then
     Buffer.add_string buf
       "// no permutations required: operands are GEMM-compatible in place\n"

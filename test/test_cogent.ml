@@ -505,6 +505,72 @@ let test_plan_rejects_invalid () =
   | exception Invalid_argument _ -> ()
   | _ -> fail "invalid mapping accepted"
 
+(* ---- Kernel schemas ---- *)
+
+(* Double-buffered SMEM accounting at the exact device boundary: 32x32
+   threads staging a 48-deep K-slab use 2 x 1536 doubles = 24 KiB under
+   the classic schema; doubling the slabs lands exactly on the A100's
+   48 KiB/block budget (still feasible), while one K-step deeper (50)
+   overflows only under the pipelined schema. *)
+let test_schema_smem_boundary () =
+  let mapping depth =
+    {
+      Mapping.tbx = [ b 'a' 32 ];
+      regx = [];
+      tby = [ b 'b' 32 ];
+      regy = [];
+      tbk = [ b 'c' depth ];
+      grid = [];
+    }
+  in
+  let plan extent depth =
+    Plan.make
+      ~problem:
+        (Problem.of_string_exn "ab-ac-cb"
+           ~sizes:[ ('a', 64); ('b', 64); ('c', extent) ])
+      ~mapping:(mapping depth) ~arch:Arch.a100 ~precision:Precision.FP64
+  in
+  let at = plan 96 48 in
+  check Alcotest.int "classic smem" 24576 (Plan.smem_bytes at);
+  let piped = Plan.with_schema Schema.Pipelined at in
+  check Alcotest.int "pipelined smem doubles" 49152 (Plan.smem_bytes piped);
+  check Alcotest.bool "2x slabs exactly fill the block budget" true
+    (Plan.smem_bytes piped = Arch.a100.Arch.smem_per_block);
+  let over = plan 100 50 in
+  check Alcotest.bool "classic still fits one step deeper" true
+    (Plan.smem_bytes over <= Arch.a100.Arch.smem_per_block);
+  check Alcotest.bool "doubled slabs rejected one step deeper" false
+    (Plan.schema_feasible ~arch:Arch.a100 ~precision:Precision.FP64
+       ~mapping:(mapping 50) Schema.Pipelined);
+  match Plan.with_schema Schema.Pipelined over with
+  | exception Invalid_argument _ -> ()
+  | _ -> fail "double-buffered slabs above the SMEM budget accepted"
+
+let test_schema_feasibility () =
+  check Alcotest.bool "no async copies: classic only" true
+    (Plan.feasible_schemas ~arch:Arch.v100 ~precision:Precision.FP64
+       gemm_mapping
+    = [ Schema.Classic ]);
+  check Alcotest.bool "fp64 never runs on tensor cores" false
+    (Plan.schema_feasible ~arch:Arch.a100 ~precision:Precision.FP64
+       ~mapping:gemm_mapping Schema.Pipelined_mma);
+  (* the 16x16x8 macro-tile divides the fp16 16x16x16 fragment layout *)
+  check Alcotest.bool "fp16 macro-tile admits MMA" true
+    (Plan.schema_feasible ~arch:Arch.a100 ~precision:Precision.FP16
+       ~mapping:gemm_mapping Schema.Pipelined_mma)
+
+(* A forced schema no mapping admits is a typed driver error (the CLI
+   prints it and exits 1), never an exception. *)
+let test_schema_forced_infeasible () =
+  let ctx =
+    Ctx.make ~arch:Arch.a100 ~precision:Precision.FP64
+      ~schema:Schema.Pipelined_mma ()
+  in
+  match Driver.run ctx gemm_like with
+  | Error (Driver.Infeasible_schema (Schema.Pipelined_mma, _)) -> ()
+  | Error e -> fail ("unexpected error: " ^ Driver.error_to_string e)
+  | Ok _ -> fail "MMA accepted for fp64"
+
 (* ---- Codegen ---- *)
 
 let gemm_plan =
@@ -550,6 +616,26 @@ let test_codegen_golden_opencl () =
 
 let test_codegen_golden_c () =
   check_golden "golden C-host kernel" "ab_ac_cb.c" (Codegen.emit_c gemm_plan)
+
+(* The same plan under the double-buffered schema, on a device with async
+   copies.  The golden files lock the cp.async prologue and the two-slab
+   rotation in all three dialects. *)
+let pipelined_plan =
+  Plan.with_schema Schema.Pipelined
+    (Plan.make ~problem:gemm_like ~mapping:gemm_mapping ~arch:Arch.a100
+       ~precision:Precision.FP64)
+
+let test_codegen_golden_pipelined () =
+  check_golden "golden pipelined kernel" "ab_ac_cb_pipelined.cu"
+    (Codegen.emit pipelined_plan)
+
+let test_codegen_golden_pipelined_opencl () =
+  check_golden "golden pipelined OpenCL kernel" "ab_ac_cb_pipelined.cl"
+    (Codegen.emit_opencl pipelined_plan)
+
+let test_codegen_golden_pipelined_c () =
+  check_golden "golden pipelined C-host kernel" "ab_ac_cb_pipelined.c"
+    (Codegen.emit_c pipelined_plan)
 
 let has_sub src needle =
   let ln = String.length needle and ls = String.length src in
@@ -903,6 +989,14 @@ let () =
           Alcotest.test_case "rejects invalid mapping" `Quick
             test_plan_rejects_invalid;
         ] );
+      ( "schemas",
+        [
+          Alcotest.test_case "SMEM boundary at 2x slabs" `Quick
+            test_schema_smem_boundary;
+          Alcotest.test_case "feasibility rules" `Quick test_schema_feasibility;
+          Alcotest.test_case "forced infeasible schema is typed" `Quick
+            test_schema_forced_infeasible;
+        ] );
       ( "codegen",
         [
           Alcotest.test_case "golden ab-ac-cb kernel" `Quick test_codegen_golden;
@@ -910,6 +1004,12 @@ let () =
             test_codegen_golden_opencl;
           Alcotest.test_case "golden ab-ac-cb C-host kernel" `Quick
             test_codegen_golden_c;
+          Alcotest.test_case "golden pipelined kernel" `Quick
+            test_codegen_golden_pipelined;
+          Alcotest.test_case "golden pipelined OpenCL kernel" `Quick
+            test_codegen_golden_pipelined_opencl;
+          Alcotest.test_case "golden pipelined C-host kernel" `Quick
+            test_codegen_golden_pipelined_c;
           Alcotest.test_case "OpenCL structure" `Quick
             test_codegen_opencl_structure;
           Alcotest.test_case "OpenCL fp32 pragma" `Quick

@@ -11,13 +11,34 @@ let test_precision () =
     (Precision.elems_per_transaction Precision.FP64);
   check Alcotest.int "fp32 elems/transaction" 32
     (Precision.elems_per_transaction Precision.FP32);
-  check Alcotest.string "cuda type" "double" (Precision.cuda_type Precision.FP64)
+  check Alcotest.string "cuda type" "double" (Precision.cuda_type Precision.FP64);
+  check Alcotest.int "fp16 bytes" 2 (Precision.bytes Precision.FP16);
+  check Alcotest.int "fp16 elems/transaction" 64
+    (Precision.elems_per_transaction Precision.FP16);
+  check Alcotest.bool "fp16 is tensor-core" true
+    (Precision.tensor_core Precision.FP16);
+  check Alcotest.bool "tf32 is tensor-core" true
+    (Precision.tensor_core Precision.TF32);
+  check Alcotest.bool "fp64 is not" false (Precision.tensor_core Precision.FP64)
 
 let test_arch_lookup () =
   check Alcotest.bool "p100" true (Arch.by_name "P100" = Some Arch.p100);
   check Alcotest.bool "volta alias" true (Arch.by_name "volta" = Some Arch.v100);
   check Alcotest.bool "ampere alias" true (Arch.by_name "ampere" = Some Arch.a100);
-  check Alcotest.bool "unknown" true (Arch.by_name "h100" = None)
+  check Alcotest.bool "hopper alias" true (Arch.by_name "hopper" = Some Arch.h100);
+  check Alcotest.bool "unknown" true (Arch.by_name "b100" = None)
+
+let test_tensor_rates () =
+  check Alcotest.bool "v100 has no cp.async" true (not Arch.v100.Arch.async_copy);
+  check Alcotest.bool "a100 has cp.async" true Arch.a100.Arch.async_copy;
+  check (Alcotest.float 1.0) "a100 dense fp16 MMA" 312000.0
+    (Arch.tensor_gflops Arch.a100 Precision.FP16);
+  check (Alcotest.float 1.0) "a100 dense tf32 MMA" 156000.0
+    (Arch.tensor_gflops Arch.a100 Precision.TF32);
+  check (Alcotest.float 1.0) "no MMA rate for fp64" 0.0
+    (Arch.tensor_gflops Arch.a100 Precision.FP64);
+  check (Alcotest.float 1.0) "p100 has no tensor cores" 0.0
+    (Arch.tensor_gflops Arch.p100 Precision.FP16)
 
 let test_arch_specs () =
   check Alcotest.int "P100 SMs" 56 Arch.p100.Arch.sms;
@@ -103,6 +124,8 @@ let () =
         [
           Alcotest.test_case "lookup" `Quick test_arch_lookup;
           Alcotest.test_case "published specs" `Quick test_arch_specs;
+          Alcotest.test_case "tensor rates and async copies" `Quick
+            test_tensor_rates;
         ] );
       ( "occupancy",
         [

@@ -149,6 +149,46 @@ let test_conflict_detected () =
   check Alcotest.int "2-way conflict detected" 2
     (Tc_kir.Check.staging_conflict_ways strided)
 
+(* The same toy configuration double-buffered on a device with async
+   copies: Check's accounting must charge the 2x slabs and the pipeline's
+   bookkeeping registers exactly as the plan does, staging must stay
+   bank-conflict-free, and the CUDA text must carry the cp.async
+   prologue/rotation structure. *)
+let toy_pipelined =
+  Plan.with_schema Schema.Pipelined
+    { toy_plan with Plan.arch = Arch.a100 }
+
+let test_pipelined_resources () =
+  let k = Codegen.lower toy_pipelined in
+  check Alcotest.int "smem doubles" (2 * Plan.smem_bytes toy_plan)
+    (Tc_kir.Check.smem_bytes k);
+  Tc_kir.Check.cross_validate
+    ~expected_smem:(Plan.smem_bytes toy_pipelined)
+    ~expected_regs:(Plan.regs_per_thread toy_pipelined)
+    k;
+  check Alcotest.bool "pipeline costs extra registers" true
+    (Plan.regs_per_thread toy_pipelined > Plan.regs_per_thread toy_plan);
+  check Alcotest.int "staging stays conflict-free" 1
+    (Tc_kir.Check.staging_conflict_ways k)
+
+let test_pipelined_cuda_structure () =
+  let src = Codegen.emit_kernel ~dialect:Codegen.Cuda toy_pipelined in
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "contains %S" needle) true
+        (has_sub src needle))
+    [
+      "__pipeline_memcpy_async";
+      "__pipeline_commit();";
+      "__pipeline_wait_prior(1);";
+      "const int buf_comp = step % 2;";
+      "const int buf_stage = stage_step % 2;";
+    ];
+  (* the classic schema must stay free of pipeline intrinsics *)
+  let classic = Codegen.emit_kernel ~dialect:Codegen.Cuda toy_plan in
+  check Alcotest.bool "classic has no pipeline intrinsics" false
+    (has_sub classic "__pipeline")
+
 let test_guard_elim_toy () =
   (* 32 divides every tile (16, 16, 8): all guards disappear *)
   let k', fired = Tc_kir.Opt.eliminate_guards (Codegen.lower toy_plan) in
@@ -275,6 +315,10 @@ let () =
             test_cross_validate_raises;
           Alcotest.test_case "bank conflicts detected" `Quick
             test_conflict_detected;
+          Alcotest.test_case "pipelined resource accounting" `Quick
+            test_pipelined_resources;
+          Alcotest.test_case "pipelined CUDA structure" `Quick
+            test_pipelined_cuda_structure;
         ] );
       ( "passes",
         [
